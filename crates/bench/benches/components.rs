@@ -1,0 +1,92 @@
+//! Component micro-benchmarks: K-slack, Synchronizer, join operator and the
+//! analytical recall model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mswj_core::{DelayHistogram, KSlack, ModelInputs, RecallModel, Synchronizer};
+use mswj_datasets::q3_query;
+use mswj_join::MswjOperator;
+use mswj_types::{Timestamp, Tuple, Value};
+
+fn kslack_throughput(c: &mut Criterion) {
+    c.bench_function("kslack_push_1k", |b| {
+        b.iter(|| {
+            let mut ks = KSlack::new(500);
+            for i in 0..1_000u64 {
+                let ts = if i % 5 == 0 {
+                    i * 10
+                } else {
+                    (i * 10).saturating_sub(300)
+                };
+                ks.push(Tuple::marker(0.into(), i, Timestamp::from_millis(ts)));
+            }
+            black_box(ks.flush().len())
+        })
+    });
+}
+
+fn synchronizer_throughput(c: &mut Criterion) {
+    c.bench_function("synchronizer_push_1k", |b| {
+        b.iter(|| {
+            let mut sync = Synchronizer::new(3);
+            let mut emitted = 0usize;
+            for i in 0..1_000u64 {
+                let stream = (i % 3) as usize;
+                let ts = Timestamp::from_millis(i * 7 + stream as u64 * 100);
+                emitted += sync.push(Tuple::marker(stream.into(), i, ts)).len();
+            }
+            black_box(emitted + sync.flush().len())
+        })
+    });
+}
+
+fn operator_throughput(c: &mut Criterion) {
+    c.bench_function("mswj_operator_equi_push_1k", |b| {
+        b.iter(|| {
+            let mut op = MswjOperator::new(q3_query(5_000));
+            let mut results = 0u64;
+            for i in 0..1_000u64 {
+                let stream = (i % 3) as usize;
+                let t = Tuple::new(
+                    stream.into(),
+                    i,
+                    Timestamp::from_millis(i * 10),
+                    vec![Value::Int((i % 50) as i64)],
+                );
+                results += op.push(t).n_join;
+            }
+            black_box(results)
+        })
+    });
+}
+
+fn model_evaluation(c: &mut Criterion) {
+    let delays: Vec<u64> = (0..5_000)
+        .map(|i| if i % 4 == 0 { (i % 200) * 10 } else { 0 })
+        .collect();
+    let inputs = ModelInputs {
+        windows: vec![5_000; 3],
+        histograms: (0..3)
+            .map(|_| DelayHistogram::from_delays(10, delays.clone()))
+            .collect(),
+        k_sync: vec![0, 50, 120],
+        basic_window: 10,
+        granularity: 10,
+    };
+    let model = RecallModel::new(inputs);
+    c.bench_function("recall_model_sweep_200_candidates", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in (0..2_000).step_by(10) {
+                acc += model.estimate_recall(black_box(k), 1.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = kslack_throughput, synchronizer_throughput, operator_throughput, model_evaluation
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Bench-scale versions of the paper's experiments: one benchmark per table
+//! or figure (Fig. 6, Table II, Fig. 7, Fig. 8, Fig. 9, Fig. 10; Fig. 11 is
+//! covered by the dedicated `adaptation_step` bench).
+//!
+//! Each benchmark runs the corresponding policy sweep over a reduced-scale
+//! workload and returns the average K, so the numbers are comparable to the
+//! experiment binaries in `mswj-experiments` (which run at larger scale).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mswj_bench::{bench_config, bench_d2, bench_d3, run_for_avg_k};
+use mswj_core::BufferPolicy;
+use mswj_experiments::ground_truth;
+
+fn fig6_no_k_slack(c: &mut Criterion) {
+    let d3 = bench_d3();
+    let truth = ground_truth(&d3);
+    c.bench_function("fig6_no_k_slack_d3", |b| {
+        b.iter(|| black_box(run_for_avg_k(&d3, BufferPolicy::NoKSlack, &truth)))
+    });
+}
+
+fn table2_max_k_slack(c: &mut Criterion) {
+    let d3 = bench_d3();
+    let truth = ground_truth(&d3);
+    c.bench_function("table2_max_k_slack_d3", |b| {
+        b.iter(|| black_box(run_for_avg_k(&d3, BufferPolicy::MaxKSlack, &truth)))
+    });
+}
+
+fn fig7_quality_driven_gamma_sweep(c: &mut Criterion) {
+    let d3 = bench_d3();
+    let truth = ground_truth(&d3);
+    let mut group = c.benchmark_group("fig7_quality_driven_d3");
+    for gamma in [0.9, 0.99] {
+        group.bench_function(format!("gamma={gamma}"), |b| {
+            b.iter(|| {
+                let policy = BufferPolicy::QualityDriven(bench_config(gamma));
+                black_box(run_for_avg_k(&d3, policy, &truth))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig8_period_sweep(c: &mut Criterion) {
+    let d2 = bench_d2();
+    let truth = ground_truth(&d2);
+    let mut group = c.benchmark_group("fig8_period_d2");
+    for period in [5_000u64, 10_000] {
+        group.bench_function(format!("P={}s", period / 1_000), |b| {
+            b.iter(|| {
+                let policy = BufferPolicy::QualityDriven(bench_config(0.95).period(period));
+                black_box(run_for_avg_k(&d2, policy, &truth))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig9_interval_sweep(c: &mut Criterion) {
+    let d3 = bench_d3();
+    let truth = ground_truth(&d3);
+    let mut group = c.benchmark_group("fig9_interval_d3");
+    for interval in [500u64, 1_000, 5_000] {
+        group.bench_function(format!("L={interval}ms"), |b| {
+            b.iter(|| {
+                let policy = BufferPolicy::QualityDriven(bench_config(0.95).interval(interval));
+                black_box(run_for_avg_k(&d3, policy, &truth))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig10_granularity_sweep(c: &mut Criterion) {
+    let d3 = bench_d3();
+    let truth = ground_truth(&d3);
+    let mut group = c.benchmark_group("fig10_granularity_d3");
+    for g in [10u64, 100, 1_000] {
+        group.bench_function(format!("g={g}ms"), |b| {
+            b.iter(|| {
+                let policy = BufferPolicy::QualityDriven(bench_config(0.95).granularity(g));
+                black_box(run_for_avg_k(&d3, policy, &truth))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig6_no_k_slack, table2_max_k_slack, fig7_quality_driven_gamma_sweep,
+              fig8_period_sweep, fig9_interval_sweep, fig10_granularity_sweep
+}
+criterion_main!(benches);

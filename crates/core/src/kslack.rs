@@ -1,0 +1,281 @@
+//! The K-slack intra-stream disorder handling component (Sec. III-A).
+//!
+//! A buffer of `K` time units is used to sort the tuples of one stream:
+//! whenever the stream's local current time `iT` advances, every buffered
+//! tuple `e` with `e.ts + K <= iT` is emitted, in timestamp order.  A tuple
+//! delayed by more than `K` time units cannot be fully re-ordered and leaves
+//! the component still out of order (with its residual delay reduced by
+//! `K`), exactly as in the example of Fig. 3 of the paper.
+//!
+//! Unlike classic K-slack, the buffer size here is *externally adjustable*:
+//! the Buffer-Size Manager assigns a new `K` at every adaptation step.
+
+use mswj_types::{Duration, LocalClock, Timestamp, Tuple};
+use std::collections::BTreeMap;
+
+/// Lifetime statistics of one K-slack component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KSlackStats {
+    /// Tuples that entered the component.
+    pub received: u64,
+    /// Tuples emitted so far.
+    pub emitted: u64,
+    /// Emitted tuples that were still out of order in the output stream
+    /// (emitted with a timestamp smaller than an already-emitted one).
+    pub residual_out_of_order: u64,
+    /// Largest number of tuples simultaneously buffered.
+    pub peak_buffered: usize,
+}
+
+/// A K-slack sorting buffer for one input stream.
+///
+/// # Examples
+///
+/// Re-creates the example of Fig. 3 (K = 1 time unit = 1 ms here): the tuple
+/// with timestamp 5 arriving after `iT` reached 7 has delay 2 and cannot be
+/// fully re-ordered.
+///
+/// ```
+/// use mswj_core::KSlack;
+/// use mswj_types::{Timestamp, Tuple};
+/// let mut ks = KSlack::new(1);
+/// let mut out = Vec::new();
+/// for (seq, ts) in [1u64, 4, 3, 7, 5, 8, 6, 9].iter().enumerate() {
+///     let t = Tuple::marker(0.into(), seq as u64, Timestamp::from_millis(*ts));
+///     out.extend(ks.push(t).into_iter().map(|t| t.ts.as_millis()));
+/// }
+/// out.extend(ks.flush().into_iter().map(|t| t.ts.as_millis()));
+/// assert_eq!(out, vec![1, 3, 4, 5, 7, 6, 8, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KSlack {
+    k: Duration,
+    clock: LocalClock,
+    /// Buffered tuples keyed by (timestamp, arrival counter) so that
+    /// iteration yields timestamp order with stable tie-breaking.
+    buffer: BTreeMap<(Timestamp, u64), Tuple>,
+    counter: u64,
+    max_emitted_ts: Timestamp,
+    stats: KSlackStats,
+}
+
+impl KSlack {
+    /// Creates a component with initial buffer size `k` (ms).
+    pub fn new(k: Duration) -> Self {
+        KSlack {
+            k,
+            clock: LocalClock::new(),
+            buffer: BTreeMap::new(),
+            counter: 0,
+            max_emitted_ts: Timestamp::ZERO,
+            stats: KSlackStats::default(),
+        }
+    }
+
+    /// The current buffer size `K` in milliseconds.
+    pub fn k(&self) -> Duration {
+        self.k
+    }
+
+    /// Sets a new buffer size; takes effect from the next emission check.
+    pub fn set_k(&mut self, k: Duration) {
+        self.k = k;
+    }
+
+    /// The stream's local current time `iT` as observed by this component.
+    pub fn local_time(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// The per-stream clock (delay and disorder statistics).
+    pub fn clock(&self) -> &LocalClock {
+        &self.clock
+    }
+
+    /// Number of currently buffered tuples.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> KSlackStats {
+        self.stats
+    }
+
+    /// Processes the arrival of one tuple: annotates it with its delay,
+    /// buffers it and returns every tuple that became emittable
+    /// (`e.ts + K <= iT`), in timestamp order.
+    pub fn push(&mut self, mut tuple: Tuple) -> Vec<Tuple> {
+        let delay = self.clock.observe(tuple.ts);
+        tuple.set_delay(delay);
+        self.stats.received += 1;
+        self.buffer.insert((tuple.ts, self.counter), tuple);
+        self.counter += 1;
+        if self.buffer.len() > self.stats.peak_buffered {
+            self.stats.peak_buffered = self.buffer.len();
+        }
+        self.emit_ready()
+    }
+
+    /// Emits every buffered tuple with `ts + K <= iT`, in timestamp order.
+    /// Called automatically by [`KSlack::push`]; also useful after lowering
+    /// `K` via [`KSlack::set_k`].
+    pub fn emit_ready(&mut self) -> Vec<Tuple> {
+        let now = self.clock.now();
+        if !self.clock.started() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        loop {
+            let emit = match self.buffer.keys().next() {
+                Some(&(ts, _)) => ts.saturating_add_duration(self.k) <= now,
+                None => false,
+            };
+            if !emit {
+                break;
+            }
+            let (key, tuple) = self
+                .buffer
+                .pop_first()
+                .expect("buffer non-empty: key observed above");
+            debug_assert_eq!(key.0, tuple.ts);
+            self.account_emission(&tuple);
+            out.push(tuple);
+        }
+        out
+    }
+
+    /// Emits everything still buffered (end of stream), in timestamp order.
+    pub fn flush(&mut self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.buffer.len());
+        while let Some((_, tuple)) = self.buffer.pop_first() {
+            self.account_emission(&tuple);
+            out.push(tuple);
+        }
+        out
+    }
+
+    fn account_emission(&mut self, tuple: &Tuple) {
+        self.stats.emitted += 1;
+        if self.stats.emitted > 1 && tuple.ts < self.max_emitted_ts {
+            self.stats.residual_out_of_order += 1;
+        }
+        if tuple.ts > self.max_emitted_ts {
+            self.max_emitted_ts = tuple.ts;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mswj_types::StreamIndex;
+
+    fn t(seq: u64, ts: u64) -> Tuple {
+        Tuple::marker(StreamIndex(0), seq, Timestamp::from_millis(ts))
+    }
+
+    fn push_all(ks: &mut KSlack, timestamps: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (seq, &ts) in timestamps.iter().enumerate() {
+            out.extend(ks.push(t(seq as u64, ts)).into_iter().map(|t| t.ts.as_millis()));
+        }
+        out
+    }
+
+    #[test]
+    fn zero_k_emits_everything_at_or_before_local_time() {
+        let mut ks = KSlack::new(0);
+        let out = push_all(&mut ks, &[1, 2, 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(ks.buffered(), 0);
+    }
+
+    #[test]
+    fn fig3_example_with_k_one() {
+        // Input timestamps in arrival order (Fig. 3): 1 4 3 7 5 8 6 9, K = 1.
+        // Expected output (Fig. 3): 1 3 4 5 7 6 8 (9 still buffered).
+        let mut ks = KSlack::new(1);
+        let mut out = push_all(&mut ks, &[1, 4, 3, 7, 5, 8, 6, 9]);
+        assert_eq!(out, vec![1, 3, 4, 5, 7, 6, 8]);
+        out.extend(ks.flush().into_iter().map(|t| t.ts.as_millis()));
+        assert_eq!(out, vec![1, 3, 4, 5, 7, 6, 8, 9]);
+        // The tuple with ts 6 had delay 2 > K = 1: residual disorder.
+        assert_eq!(ks.stats().residual_out_of_order, 1);
+    }
+
+    #[test]
+    fn buffer_large_enough_fully_sorts() {
+        let mut ks = KSlack::new(10);
+        let mut out = push_all(&mut ks, &[5, 1, 9, 3, 12, 7, 20, 15, 30]);
+        out.extend(ks.flush().into_iter().map(|t| t.ts.as_millis()));
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(out, sorted);
+        assert_eq!(ks.stats().residual_out_of_order, 0);
+        assert_eq!(ks.stats().received, 9);
+        assert_eq!(ks.stats().emitted, 9);
+    }
+
+    #[test]
+    fn delay_annotation_reflects_raw_delay() {
+        let mut ks = KSlack::new(100);
+        ks.push(t(0, 1_000));
+        ks.push(t(1, 2_000));
+        let emitted = ks.flush();
+        // Second arrival is in order: delay 0; out-of-order example:
+        assert!(emitted.iter().all(|e| e.delay() == Some(0)));
+        let mut ks = KSlack::new(100);
+        let mut out = ks.push(t(0, 1_000));
+        out.extend(ks.push(t(1, 400)));
+        out.extend(ks.flush());
+        let by_ts: Vec<(u64, u64)> = out
+            .iter()
+            .map(|e| (e.ts.as_millis(), e.delay_or_zero()))
+            .collect();
+        assert_eq!(by_ts, vec![(400, 600), (1_000, 0)]);
+    }
+
+    #[test]
+    fn larger_k_holds_tuples_back() {
+        let mut ks = KSlack::new(1_000);
+        assert!(ks.push(t(0, 0)).is_empty());
+        assert!(ks.push(t(1, 500)).is_empty());
+        // iT = 1_000: tuple at 0 satisfies 0 + 1000 <= 1000 and is emitted.
+        let out = ks.push(t(2, 1_000));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts.as_millis(), 0);
+        assert_eq!(ks.buffered(), 2);
+        assert_eq!(ks.stats().peak_buffered, 3);
+    }
+
+    #[test]
+    fn lowering_k_releases_buffered_tuples() {
+        let mut ks = KSlack::new(10_000);
+        ks.push(t(0, 0));
+        ks.push(t(1, 100));
+        ks.push(t(2, 200));
+        assert_eq!(ks.buffered(), 3);
+        ks.set_k(0);
+        assert_eq!(ks.k(), 0);
+        let out = ks.emit_ready();
+        assert_eq!(out.len(), 3);
+        assert_eq!(ks.buffered(), 0);
+    }
+
+    #[test]
+    fn emission_is_in_timestamp_order_even_with_ties() {
+        let mut ks = KSlack::new(0);
+        let out = push_all(&mut ks, &[5, 5, 5, 6]);
+        assert_eq!(out, vec![5, 5, 5, 6]);
+    }
+
+    #[test]
+    fn local_time_tracks_stream_progress() {
+        let mut ks = KSlack::new(50);
+        ks.push(t(0, 100));
+        ks.push(t(1, 70));
+        assert_eq!(ks.local_time(), Timestamp::from_millis(100));
+        assert_eq!(ks.clock().out_of_order(), 1);
+    }
+}

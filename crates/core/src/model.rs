@@ -1,0 +1,354 @@
+//! The analytical recall model `γ(L, K)` (Sec. IV-A, Eqs. 1–5).
+//!
+//! At each adaptation step the Buffer-Size Manager needs to predict, for a
+//! candidate buffer size `K`, the recall of the join results that would be
+//! produced during the next adaptation interval.  The paper derives:
+//!
+//! * the delay distribution seen by the join operator after K-slack and the
+//!   Synchronizer, `f_{D_i^K}`, by shifting the raw delay histogram by
+//!   `K + K_sync_i` (Eq. 2);
+//! * the expected degree of completeness of each window via *basic windows*
+//!   of `b` ms (Eq. 3): a recent window segment misses more late tuples than
+//!   an old one;
+//! * the produced and true result sizes (Eqs. 1 and 4), whose ratio — after
+//!   the common factor `(Π r_i)·L` cancels — yields Eq. 5:
+//!
+//! ```text
+//!              sel(K)    Σ_i f_{D_i^K}(0) · Π_{j≠i} effW_j(K)
+//!   γ(L, K) =  ────── ·  ─────────────────────────────────────
+//!               sel            Σ_i Π_{j≠i} W_j
+//! ```
+//!
+//! where `effW_j(K) = Σ_l (segment length)·F_j^K((l-1)·b/g)` is the
+//! effective (expected-complete) portion of window `W_j`.
+
+use crate::statistics::DelayHistogram;
+use mswj_types::Duration;
+
+/// Immutable per-adaptation-step inputs of the recall model.
+#[derive(Debug, Clone)]
+pub struct ModelInputs {
+    /// Window sizes `W_i` (ms), one per stream.
+    pub windows: Vec<Duration>,
+    /// Raw per-stream delay histograms `f_{D_i}` (granularity `g`).
+    pub histograms: Vec<DelayHistogram>,
+    /// Estimated implicit synchronizer buffers `K_sync_i` (ms).
+    pub k_sync: Vec<Duration>,
+    /// Basic-window size `b` (ms).
+    pub basic_window: Duration,
+    /// K-search granularity `g` (ms); also the histogram granularity.
+    pub granularity: Duration,
+}
+
+impl ModelInputs {
+    /// Number of streams.
+    pub fn arity(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Validates that all vectors agree on the number of streams.
+    pub fn is_consistent(&self) -> bool {
+        let m = self.windows.len();
+        m >= 2 && self.histograms.len() == m && self.k_sync.len() == m
+    }
+}
+
+/// Evaluator of `γ(L, K)` for a fixed set of [`ModelInputs`].
+#[derive(Debug, Clone)]
+pub struct RecallModel {
+    inputs: ModelInputs,
+    /// Per-stream cumulative delay distributions, precomputed once so that
+    /// Alg. 3 can probe thousands of candidate K values cheaply.
+    cumulative: Vec<Vec<f64>>,
+}
+
+impl RecallModel {
+    /// Creates a model evaluator; panics if the inputs are inconsistent.
+    pub fn new(inputs: ModelInputs) -> Self {
+        assert!(inputs.is_consistent(), "inconsistent model inputs");
+        let cumulative = inputs
+            .histograms
+            .iter()
+            .map(|h| {
+                let max_bucket = h.max_bucket();
+                (0..=max_bucket).map(|d| h.cumulative(d)).collect()
+            })
+            .collect();
+        RecallModel { inputs, cumulative }
+    }
+
+    /// O(1) lookup of `Pr[D_i <= bucket]` from the precomputed table.
+    fn raw_cumulative(&self, stream: usize, bucket: usize) -> f64 {
+        let table = &self.cumulative[stream];
+        if table.is_empty() {
+            return 1.0;
+        }
+        if bucket >= table.len() {
+            1.0
+        } else {
+            table[bucket]
+        }
+    }
+
+    /// The model inputs.
+    pub fn inputs(&self) -> &ModelInputs {
+        &self.inputs
+    }
+
+    /// `f_{D_i^K}(0)`: probability that a tuple of stream `i` reaches the
+    /// join operator in order under buffer size `K` (Eq. 2, case `d = 0`).
+    pub fn in_order_probability(&self, stream: usize, k: Duration) -> f64 {
+        let shift = self.shift_buckets(stream, k);
+        self.raw_cumulative(stream, shift)
+    }
+
+    /// `f_{D_i^K}(d)` for any coarse bucket `d` (Eq. 2).
+    pub fn shifted_probability(&self, stream: usize, k: Duration, d: usize) -> f64 {
+        let shift = self.shift_buckets(stream, k);
+        if d == 0 {
+            self.raw_cumulative(stream, shift)
+        } else {
+            self.inputs.histograms[stream].probability(d + shift)
+        }
+    }
+
+    /// Cumulative `Pr[D_i^K <= d]`, i.e. `F_i(d + (K + K_sync_i)/g)`.
+    fn shifted_cumulative(&self, stream: usize, k: Duration, d: usize) -> f64 {
+        let shift = self.shift_buckets(stream, k);
+        self.raw_cumulative(stream, d + shift)
+    }
+
+    /// Number of histogram buckets covered by `K + K_sync_i`.
+    fn shift_buckets(&self, stream: usize, k: Duration) -> usize {
+        ((k + self.inputs.k_sync[stream]) / self.inputs.granularity.max(1)) as usize
+    }
+
+    /// The expected effective coverage of window `W_j` under buffer size `K`
+    /// (Eq. 3 with the per-stream rate factored out), in milliseconds.
+    ///
+    /// The most recent basic window only counts tuples that arrive with
+    /// residual delay 0, the second one also those within `b`, and so on;
+    /// the result is always in `[0, W_j]`.
+    pub fn effective_window(&self, stream: usize, k: Duration) -> f64 {
+        let w = self.inputs.windows[stream];
+        if w == 0 {
+            return 0.0;
+        }
+        let b = self.inputs.basic_window.max(1).min(w);
+        let g = self.inputs.granularity.max(1);
+        let n = w.div_ceil(b) as usize;
+        let mut eff = 0.0;
+        for l in 1..=n {
+            let segment = if l < n {
+                b as f64
+            } else {
+                (w - (n as u64 - 1) * b) as f64
+            };
+            let buckets = ((l as u64 - 1) * b / g) as usize;
+            eff += segment * self.shifted_cumulative(stream, k, buckets);
+        }
+        eff.min(w as f64)
+    }
+
+    /// Evaluates the structural (selectivity-free) part of Eq. 5:
+    /// `Σ_i f_{D_i^K}(0)·Π_{j≠i} effW_j / Σ_i Π_{j≠i} W_j`.
+    pub fn structural_recall(&self, k: Duration) -> f64 {
+        let m = self.inputs.arity();
+        let eff: Vec<f64> = (0..m).map(|j| self.effective_window(j, k)).collect();
+        let mut numerator = 0.0;
+        let mut denominator = 0.0;
+        for i in 0..m {
+            let mut prod_eff = 1.0;
+            let mut prod_w = 1.0;
+            for j in 0..m {
+                if j == i {
+                    continue;
+                }
+                prod_eff *= eff[j];
+                prod_w *= self.inputs.windows[j] as f64;
+            }
+            numerator += self.in_order_probability(i, k) * prod_eff;
+            denominator += prod_w;
+        }
+        if denominator <= 0.0 {
+            return 0.0;
+        }
+        (numerator / denominator).clamp(0.0, 1.0)
+    }
+
+    /// Full Eq. 5: structural recall multiplied by the selectivity ratio
+    /// `sel(K)/sel` supplied by the caller (1.0 under the EqSel strategy).
+    pub fn estimate_recall(&self, k: Duration, selectivity_ratio: f64) -> f64 {
+        (self.structural_recall(k) * selectivity_ratio).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(
+        windows: Vec<Duration>,
+        delays: Vec<Vec<Duration>>,
+        k_sync: Vec<Duration>,
+        b: Duration,
+        g: Duration,
+    ) -> ModelInputs {
+        ModelInputs {
+            windows,
+            histograms: delays
+                .into_iter()
+                .map(|d| DelayHistogram::from_delays(g, d))
+                .collect(),
+            k_sync,
+            basic_window: b,
+            granularity: g,
+        }
+    }
+
+    #[test]
+    fn ordered_streams_give_recall_one_at_k_zero() {
+        let m = RecallModel::new(inputs(
+            vec![5_000, 5_000],
+            vec![vec![0; 100], vec![0; 100]],
+            vec![0, 0],
+            10,
+            10,
+        ));
+        assert!((m.structural_recall(0) - 1.0).abs() < 1e-9);
+        assert!((m.estimate_recall(0, 1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(m.in_order_probability(0, 0), 1.0);
+        assert!((m.effective_window(0, 0) - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k_for_fixed_selectivity() {
+        // Half of the tuples of each stream are delayed by up to 1 s.
+        let delays: Vec<Duration> = (0..1_000)
+            .map(|i| if i % 2 == 0 { 0 } else { (i % 100) * 10 })
+            .collect();
+        let m = RecallModel::new(inputs(
+            vec![5_000, 5_000, 5_000],
+            vec![delays.clone(), delays.clone(), delays],
+            vec![0, 0, 0],
+            10,
+            10,
+        ));
+        let mut last = -1.0;
+        for k in (0..=1_200).step_by(100) {
+            let r = m.structural_recall(k);
+            assert!(r >= last - 1e-12, "recall not monotone at K={k}: {r} < {last}");
+            assert!((0.0..=1.0).contains(&r));
+            last = r;
+        }
+        // A buffer covering the maximum delay yields (near-)perfect recall.
+        assert!(m.structural_recall(1_000) > 0.999);
+        // No buffer yields clearly imperfect recall.
+        assert!(m.structural_recall(0) < 0.9);
+    }
+
+    #[test]
+    fn k_sync_substitutes_for_explicit_buffering() {
+        // A stream whose delays are fully covered by its K_sync needs no
+        // K-slack buffer at all: the synchronizer already sorts it.
+        let delays: Vec<Duration> = (0..500).map(|i| (i % 50) * 10).collect();
+        let without_sync = RecallModel::new(inputs(
+            vec![5_000, 5_000],
+            vec![delays.clone(), vec![0; 500]],
+            vec![0, 0],
+            10,
+            10,
+        ));
+        let with_sync = RecallModel::new(inputs(
+            vec![5_000, 5_000],
+            vec![delays, vec![0; 500]],
+            vec![500, 0],
+            10,
+            10,
+        ));
+        assert!(with_sync.structural_recall(0) > without_sync.structural_recall(0));
+        assert!(with_sync.structural_recall(0) > 0.999);
+    }
+
+    #[test]
+    fn bigger_basic_window_is_more_conservative() {
+        let delays: Vec<Duration> = (0..1_000).map(|i| if i % 4 == 0 { 200 } else { 0 }).collect();
+        let fine = RecallModel::new(inputs(
+            vec![5_000, 5_000],
+            vec![delays.clone(), delays.clone()],
+            vec![0, 0],
+            10,
+            10,
+        ));
+        let coarse = RecallModel::new(inputs(
+            vec![5_000, 5_000],
+            vec![delays.clone(), delays],
+            vec![0, 0],
+            5_000, // one basic window == whole window: only in-order tuples count
+            10,
+        ));
+        assert!(coarse.structural_recall(0) <= fine.structural_recall(0) + 1e-12);
+    }
+
+    #[test]
+    fn selectivity_ratio_scales_and_clamps() {
+        let m = RecallModel::new(inputs(
+            vec![1_000, 1_000],
+            vec![vec![0, 0, 100, 100], vec![0; 4]],
+            vec![0, 0],
+            10,
+            10,
+        ));
+        let base = m.structural_recall(0);
+        assert!(base > 0.0 && base < 1.0);
+        assert!((m.estimate_recall(0, 0.5) - base * 0.5).abs() < 1e-12);
+        assert_eq!(m.estimate_recall(0, 100.0), 1.0, "clamped at 1");
+        assert_eq!(m.estimate_recall(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn shifted_probability_matches_eq2() {
+        // Raw histogram with g = 10: bucket 0 -> 0.5, bucket 1 -> 0.25,
+        // bucket 2 -> 0.25.
+        let m = RecallModel::new(inputs(
+            vec![1_000, 1_000],
+            vec![vec![0, 0, 10, 20], vec![0; 4]],
+            vec![0, 0],
+            10,
+            10,
+        ));
+        // K = 10 shifts by one bucket: f^K(0) = F(1) = 0.75, f^K(1) = f(2) = 0.25.
+        assert!((m.shifted_probability(0, 10, 0) - 0.75).abs() < 1e-12);
+        assert!((m.shifted_probability(0, 10, 1) - 0.25).abs() < 1e-12);
+        assert!((m.shifted_probability(0, 10, 2) - 0.0).abs() < 1e-12);
+        assert!((m.in_order_probability(0, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent model inputs")]
+    fn inconsistent_inputs_are_rejected() {
+        let bad = ModelInputs {
+            windows: vec![1_000, 1_000],
+            histograms: vec![DelayHistogram::empty(10)],
+            k_sync: vec![0, 0],
+            basic_window: 10,
+            granularity: 10,
+        };
+        let _ = RecallModel::new(bad);
+    }
+
+    #[test]
+    fn heterogeneous_windows_are_supported() {
+        let m = RecallModel::new(inputs(
+            vec![5_000, 2_000, 7_000],
+            vec![vec![0; 10], vec![0; 10], vec![0; 10]],
+            vec![0, 0, 0],
+            10,
+            10,
+        ));
+        assert!((m.structural_recall(0) - 1.0).abs() < 1e-9);
+        assert!((m.effective_window(1, 0) - 2_000.0).abs() < 1e-6);
+        assert!(m.inputs().is_consistent());
+        assert_eq!(m.inputs().arity(), 3);
+    }
+}

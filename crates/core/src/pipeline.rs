@@ -1,0 +1,603 @@
+//! The end-to-end disorder-handling pipeline (Fig. 2 of the paper).
+//!
+//! A [`Pipeline`] wires together, for one join query and one buffer-size
+//! policy:
+//!
+//! ```text
+//!   raw arrivals ──► K-slack (one per stream) ──► Synchronizer ──► MSWJ operator ──► results
+//!        │                   ▲                                        │
+//!        ▼                   │ updates of K                           ▼
+//!   Statistics Manager ──► Buffer-Size Manager ◄── Tuple-Productivity Profiler
+//!                                ▲                        │
+//!                                └── Result-Size Monitor ◄┘
+//! ```
+//!
+//! The pipeline is driven by [`ArrivalEvent`]s (tuples in arrival order,
+//! interleaved across streams).  Every `L` milliseconds of the arrival axis
+//! a *checkpoint* is taken: adaptive policies run their adaptation step
+//! (Alg. 3 or the PD controller) and every policy records the buffer size in
+//! force, so that downstream metrics can measure `γ(P)` "right before each
+//! adaptation of K" exactly as the paper does.
+
+use crate::adaptation::BufferSizeManager;
+use crate::config::DisorderConfig;
+use crate::kslack::KSlack;
+use crate::policy::{BufferPolicy, PdState};
+use crate::profiler::ProductivityProfiler;
+use crate::result_monitor::ResultSizeMonitor;
+use crate::statistics::StatisticsManager;
+use crate::synchronizer::Synchronizer;
+use mswj_join::{JoinQuery, JoinResult, MswjOperator, OperatorStats};
+use mswj_types::{ArrivalEvent, Duration, Result, Timestamp, Tuple};
+
+#[cfg(test)]
+use mswj_types::StreamIndex;
+
+/// One periodic checkpoint (taken every `L` ms of the arrival axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Arrival-axis instant at which the checkpoint was taken.
+    pub at: Timestamp,
+    /// The join operator's `onT` at that moment — the reference point for
+    /// recall measurements over the result-timestamp domain.
+    pub measure_ts: Timestamp,
+    /// Buffer size K applied from this checkpoint on (ms).
+    pub k: Duration,
+    /// Instant recall requirement Γ' used by the adaptation (1.0-capped);
+    /// `NaN` for non-adaptive policies.
+    pub gamma_prime: f64,
+    /// Model-estimated recall at the chosen K; `NaN` for non-model policies.
+    pub estimated_recall: f64,
+    /// Wall-clock nanoseconds spent in the adaptation step (0 for baselines).
+    pub adaptation_nanos: u64,
+    /// Number of K candidates examined by Alg. 3 (0 for baselines).
+    pub steps: u32,
+}
+
+/// Summary of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the buffer-size policy that produced this run.
+    pub policy: String,
+    /// Per-probe result production: `(result timestamp, number of results)`.
+    /// Only probes that produced at least one result are recorded.
+    pub produced: Vec<(Timestamp, u64)>,
+    /// Periodic checkpoints (one per adaptation interval).
+    pub checkpoints: Vec<Checkpoint>,
+    /// Time-weighted average buffer size over the run (ms).
+    pub avg_k_ms: f64,
+    /// Join operator counters.
+    pub operator_stats: OperatorStats,
+    /// Total number of join results produced.
+    pub total_produced: u64,
+    /// Tuples that left a K-slack component still out of order.
+    pub kslack_residual_out_of_order: u64,
+    /// Largest raw tuple delay observed during the run (ms).
+    pub max_observed_delay: Duration,
+    /// Span of the arrival axis covered by the run (ms).
+    pub duration_ms: Duration,
+    /// Mean wall-clock nanoseconds per adaptation step (adaptive policies).
+    pub avg_adaptation_nanos: f64,
+}
+
+impl RunReport {
+    /// Average K expressed in seconds (the unit the paper plots).
+    pub fn avg_k_secs(&self) -> f64 {
+        self.avg_k_ms / 1_000.0
+    }
+
+    /// Average adaptation-step time in milliseconds (Fig. 11's metric).
+    pub fn avg_adaptation_millis(&self) -> f64 {
+        self.avg_adaptation_nanos / 1e6
+    }
+}
+
+/// The quality-driven disorder-handling pipeline for one MSWJ query.
+pub struct Pipeline {
+    query: JoinQuery,
+    policy: BufferPolicy,
+    kslacks: Vec<KSlack>,
+    synchronizer: Synchronizer,
+    operator: MswjOperator,
+    stats: StatisticsManager,
+    profiler: ProductivityProfiler,
+    monitor: ResultSizeMonitor,
+    manager: Option<BufferSizeManager>,
+    pd_state: PdState,
+    interval_l: Duration,
+    next_checkpoint: Option<Timestamp>,
+    first_arrival: Option<Timestamp>,
+    last_arrival: Timestamp,
+    current_k: Duration,
+    k_weighted_sum: f64,
+    k_since: Timestamp,
+    lifetime_max_delay: Duration,
+    produced_since_checkpoint: u64,
+    produced: Vec<(Timestamp, u64)>,
+    checkpoints: Vec<Checkpoint>,
+    /// Results materialized while applying a new K (the shrink of a buffer
+    /// can release tuples outside of a `push` call); drained by the next
+    /// `push` so that enumerating callers see every result.
+    pending_results: Vec<JoinResult>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("query", &self.query)
+            .field("policy", &self.policy.name())
+            .field("current_k", &self.current_k)
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline that counts results without materializing them
+    /// (the mode used by all experiments).
+    pub fn new(query: JoinQuery, policy: BufferPolicy) -> Result<Self> {
+        Self::build(query, policy, false)
+    }
+
+    /// Creates a pipeline that also materializes every join result; intended
+    /// for small workloads, examples and tests.
+    pub fn enumerating(query: JoinQuery, policy: BufferPolicy) -> Result<Self> {
+        Self::build(query, policy, true)
+    }
+
+    fn build(query: JoinQuery, policy: BufferPolicy, enumerate: bool) -> Result<Self> {
+        let config: DisorderConfig = policy.config().copied().unwrap_or_default();
+        config.validate()?;
+        let m = query.arity();
+        let initial_k = match &policy {
+            BufferPolicy::FixedK(k) => *k,
+            _ => 0,
+        };
+        let manager = match &policy {
+            BufferPolicy::QualityDriven(c) => {
+                Some(BufferSizeManager::new(*c, query.windows()))
+            }
+            _ => None,
+        };
+        let operator = if enumerate {
+            MswjOperator::enumerating(query.clone())
+        } else {
+            MswjOperator::new(query.clone())
+        };
+        Ok(Pipeline {
+            kslacks: (0..m).map(|_| KSlack::new(initial_k)).collect(),
+            synchronizer: Synchronizer::new(m),
+            operator,
+            stats: StatisticsManager::new(m, config.granularity_g),
+            profiler: ProductivityProfiler::new(config.granularity_g),
+            monitor: ResultSizeMonitor::new(config.period_p.saturating_sub(config.interval_l).max(1)),
+            manager,
+            pd_state: PdState::default(),
+            interval_l: config.interval_l,
+            next_checkpoint: None,
+            first_arrival: None,
+            last_arrival: Timestamp::ZERO,
+            current_k: initial_k,
+            k_weighted_sum: 0.0,
+            k_since: Timestamp::ZERO,
+            lifetime_max_delay: 0,
+            produced_since_checkpoint: 0,
+            produced: Vec::new(),
+            checkpoints: Vec::new(),
+            pending_results: Vec::new(),
+            query,
+            policy,
+        })
+    }
+
+    /// The buffer size currently applied to every K-slack component.
+    pub fn current_k(&self) -> Duration {
+        self.current_k
+    }
+
+    /// The policy driving this pipeline.
+    pub fn policy(&self) -> &BufferPolicy {
+        &self.policy
+    }
+
+    /// The query being executed.
+    pub fn query(&self) -> &JoinQuery {
+        &self.query
+    }
+
+    /// Access to the runtime statistics manager (mainly for tests).
+    pub fn statistics(&self) -> &StatisticsManager {
+        &self.stats
+    }
+
+    /// Processes one arrival and returns any materialized join results
+    /// (always empty in counting mode).
+    pub fn push(&mut self, event: ArrivalEvent) -> Vec<JoinResult> {
+        let arrival = event.arrival;
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(arrival);
+            self.k_since = arrival;
+            self.next_checkpoint = Some(arrival.saturating_add_duration(self.interval_l));
+        }
+        self.last_arrival = arrival;
+
+        // Checkpoint / adaptation boundaries crossed by this arrival.
+        while let Some(next) = self.next_checkpoint {
+            if arrival >= next {
+                self.take_checkpoint(next);
+                self.next_checkpoint = Some(next.saturating_add_duration(self.interval_l));
+            } else {
+                break;
+            }
+        }
+
+        let stream = event.stream();
+        let tuple = event.tuple;
+        let delay = self.stats.observe(stream, tuple.ts);
+        if delay > self.lifetime_max_delay {
+            self.lifetime_max_delay = delay;
+            if matches!(self.policy, BufferPolicy::MaxKSlack) {
+                self.apply_k(self.lifetime_max_delay, arrival);
+            }
+        }
+
+        let released = self.kslacks[stream.as_usize()].push(tuple);
+        let mut results = std::mem::take(&mut self.pending_results);
+        results.extend(self.route_downstream(released));
+        results
+    }
+
+    /// Flushes all buffers (end of stream) and produces the run report.
+    pub fn finish(mut self) -> RunReport {
+        // Flush K-slack components and the synchronizer.
+        let mut tail: Vec<Tuple> = Vec::new();
+        for ks in &mut self.kslacks {
+            tail.extend(ks.flush());
+        }
+        tail.sort_by_key(|t| t.ts);
+        let _ = self.route_downstream(tail);
+        let synced = self.synchronizer.flush();
+        let _ = self.consume_synchronized(synced);
+
+        // Close the average-K accounting.
+        let end = self.last_arrival;
+        self.k_weighted_sum += self.current_k as f64 * (end - self.k_since) as f64;
+        let start = self.first_arrival.unwrap_or(Timestamp::ZERO);
+        let duration = end.saturating_duration_since(start);
+        let avg_k = if duration > 0 {
+            self.k_weighted_sum / duration as f64
+        } else {
+            self.current_k as f64
+        };
+
+        let adapt_samples: Vec<u64> = self
+            .checkpoints
+            .iter()
+            .filter(|c| c.adaptation_nanos > 0)
+            .map(|c| c.adaptation_nanos)
+            .collect();
+        let avg_adapt = if adapt_samples.is_empty() {
+            0.0
+        } else {
+            adapt_samples.iter().sum::<u64>() as f64 / adapt_samples.len() as f64
+        };
+
+        let residual = self
+            .kslacks
+            .iter()
+            .map(|ks| ks.stats().residual_out_of_order)
+            .sum();
+
+        RunReport {
+            policy: self.policy.name().to_owned(),
+            total_produced: self.operator.stats().results,
+            operator_stats: self.operator.stats(),
+            produced: self.produced,
+            checkpoints: self.checkpoints,
+            avg_k_ms: avg_k,
+            kslack_residual_out_of_order: residual,
+            max_observed_delay: self.lifetime_max_delay,
+            duration_ms: duration,
+            avg_adaptation_nanos: avg_adapt,
+        }
+    }
+
+    /// Sends K-slack output through the synchronizer and the join operator.
+    fn route_downstream(&mut self, released: Vec<Tuple>) -> Vec<JoinResult> {
+        let mut synced = Vec::new();
+        for t in released {
+            synced.extend(self.synchronizer.push(t));
+        }
+        self.consume_synchronized(synced)
+    }
+
+    /// Feeds synchronized tuples to the join operator and records
+    /// productivity / result-size statistics.
+    fn consume_synchronized(&mut self, tuples: Vec<Tuple>) -> Vec<JoinResult> {
+        let mut results = Vec::new();
+        for t in tuples {
+            let delay = t.delay_or_zero();
+            let ts = t.ts;
+            let outcome = self.operator.push(t);
+            if outcome.in_order {
+                self.profiler
+                    .record_processed(delay, outcome.n_cross, outcome.n_join);
+                if outcome.n_join > 0 {
+                    self.monitor.record_produced(ts, outcome.n_join);
+                    self.produced.push((ts, outcome.n_join));
+                    self.produced_since_checkpoint += outcome.n_join;
+                }
+            } else {
+                self.profiler.record_unprocessed(delay);
+            }
+            results.extend(outcome.results);
+        }
+        results
+    }
+
+    /// Takes one periodic checkpoint at arrival-axis instant `at`: runs the
+    /// policy's adaptation (if any), applies the new K to every K-slack
+    /// component (Same-K policy) and records the checkpoint.
+    fn take_checkpoint(&mut self, at: Timestamp) {
+        let measure_ts = self.operator.on_t();
+        let mut gamma_prime = f64::NAN;
+        let mut estimated = f64::NAN;
+        let mut nanos = 0u64;
+        let mut steps = 0u32;
+
+        // The just-finished interval becomes the profiler's "last interval".
+        self.profiler.roll_interval();
+        let n_true_last = self.profiler.n_true_estimate();
+
+        let new_k = match &self.policy {
+            BufferPolicy::QualityDriven(_) => {
+                self.monitor.record_true_estimate(measure_ts, n_true_last);
+                let manager = self.manager.as_ref().expect("manager exists for QD policy");
+                let outcome =
+                    manager.adapt(&self.stats, &self.profiler, &mut self.monitor, measure_ts);
+                gamma_prime = outcome.gamma_prime;
+                estimated = outcome.estimated_recall;
+                nanos = outcome.elapsed_nanos;
+                steps = outcome.steps;
+                outcome.k
+            }
+            BufferPolicy::PdController { config, gains } => {
+                self.monitor.record_true_estimate(measure_ts, n_true_last);
+                let measured = if n_true_last == 0 {
+                    1.0
+                } else {
+                    (self.produced_since_checkpoint as f64 / n_true_last as f64).min(1.0)
+                };
+                self.pd_state.update(*gains, config.gamma, measured)
+            }
+            BufferPolicy::NoKSlack => 0,
+            BufferPolicy::MaxKSlack => self.lifetime_max_delay,
+            BufferPolicy::FixedK(k) => *k,
+        };
+        self.produced_since_checkpoint = 0;
+        self.apply_k(new_k, at);
+
+        self.checkpoints.push(Checkpoint {
+            at,
+            measure_ts,
+            k: new_k,
+            gamma_prime,
+            estimated_recall: estimated,
+            adaptation_nanos: nanos,
+            steps,
+        });
+    }
+
+    /// Applies a new buffer size to every K-slack component (Same-K policy)
+    /// and updates the time-weighted average-K accounting.
+    fn apply_k(&mut self, k: Duration, at: Timestamp) {
+        if k == self.current_k {
+            return;
+        }
+        self.k_weighted_sum += self.current_k as f64 * (at - self.k_since) as f64;
+        self.k_since = at;
+        self.current_k = k;
+        let mut released_all = Vec::new();
+        for ks in &mut self.kslacks {
+            ks.set_k(k);
+            // A smaller K may make buffered tuples immediately emittable.
+            released_all.extend(ks.emit_ready());
+        }
+        if !released_all.is_empty() {
+            released_all.sort_by_key(|t| t.ts);
+            let results = self.route_downstream(released_all);
+            self.pending_results.extend(results);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mswj_join::CommonKeyEquiJoin;
+    use mswj_types::{FieldType, Schema, StreamSet, Value};
+    use std::sync::Arc;
+
+    fn query(m: usize, window: u64) -> JoinQuery {
+        let streams =
+            StreamSet::homogeneous(m, Schema::new(vec![("a1", FieldType::Int)]), window).unwrap();
+        let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+        JoinQuery::new("test", streams, cond).unwrap()
+    }
+
+    fn ev(stream: usize, seq: u64, ts: u64, arrival: u64, key: i64) -> ArrivalEvent {
+        ArrivalEvent::new(
+            Timestamp::from_millis(arrival),
+            Tuple::new(
+                StreamIndex(stream),
+                seq,
+                Timestamp::from_millis(ts),
+                vec![Value::Int(key)],
+            ),
+        )
+    }
+
+    /// A simple 2-stream workload: tuples every 10 ms on both streams, all
+    /// sharing key 1, with every 4th tuple of stream 0 delayed by `delay` ms.
+    fn workload(n: u64, delay: u64) -> Vec<ArrivalEvent> {
+        let mut events = Vec::new();
+        for i in 1..=n {
+            let t = i * 10;
+            let ts0 = if i % 4 == 0 { t.saturating_sub(delay) } else { t };
+            events.push(ev(0, i, ts0, t, 1));
+            events.push(ev(1, i, t, t, 1));
+        }
+        events
+    }
+
+    #[test]
+    fn ordered_input_produces_full_results_with_any_policy() {
+        for policy in [
+            BufferPolicy::NoKSlack,
+            BufferPolicy::MaxKSlack,
+            BufferPolicy::FixedK(100),
+            BufferPolicy::QualityDriven(DisorderConfig::with_gamma(0.9).period(2_000).interval(500)),
+        ] {
+            let mut p = Pipeline::new(query(2, 500), policy).unwrap();
+            for e in workload(500, 0) {
+                p.push(e);
+            }
+            let report = p.finish();
+            // With no disorder every policy produces the same result count.
+            assert!(report.total_produced > 0, "{}", report.policy);
+            assert_eq!(report.operator_stats.out_of_order, 0, "{}", report.policy);
+            assert_eq!(report.max_observed_delay, 0);
+        }
+    }
+
+    #[test]
+    fn max_k_slack_recovers_all_results_under_disorder() {
+        // Ground truth: same workload without disorder.
+        let mut truth = Pipeline::new(query(2, 500), BufferPolicy::NoKSlack).unwrap();
+        for e in workload(800, 0) {
+            truth.push(e);
+        }
+        let truth = truth.finish();
+
+        let mut max_k = Pipeline::new(query(2, 500), BufferPolicy::MaxKSlack).unwrap();
+        let mut no_k = Pipeline::new(query(2, 500), BufferPolicy::NoKSlack).unwrap();
+        for e in workload(800, 200) {
+            max_k.push(e.clone());
+            no_k.push(e);
+        }
+        let max_k = max_k.finish();
+        let no_k = no_k.finish();
+
+        assert!(max_k.avg_k_ms > 0.0);
+        assert_eq!(no_k.avg_k_ms, 0.0);
+        // Max-K-slack (with flushing at the end) handles (almost) all of the
+        // disorder; No-K-slack loses results.
+        assert!(max_k.total_produced >= no_k.total_produced);
+        assert!(no_k.total_produced < truth.total_produced);
+        assert!(
+            max_k.total_produced as f64 >= truth.total_produced as f64 * 0.97,
+            "max-k {} vs truth {}",
+            max_k.total_produced,
+            truth.total_produced
+        );
+    }
+
+    #[test]
+    fn quality_driven_sits_between_baselines() {
+        let config = DisorderConfig::with_gamma(0.9)
+            .period(4_000)
+            .interval(1_000)
+            .granularity(50);
+        let mut qd = Pipeline::new(query(2, 500), BufferPolicy::QualityDriven(config)).unwrap();
+        let mut max_k = Pipeline::new(query(2, 500), BufferPolicy::MaxKSlack).unwrap();
+        for e in workload(3_000, 300) {
+            qd.push(e.clone());
+            max_k.push(e);
+        }
+        let qd = qd.finish();
+        let max_k = max_k.finish();
+        assert!(!qd.checkpoints.is_empty());
+        // Quality-driven may use a smaller buffer than Max-K-slack…
+        assert!(qd.avg_k_ms <= max_k.avg_k_ms + 1e-9);
+        // …and it must actually adapt (some checkpoint with K > 0 given the
+        // recurring 300 ms delays and a 0.9 recall target).
+        assert!(qd.checkpoints.iter().any(|c| c.k > 0));
+        assert!(qd.avg_adaptation_nanos > 0.0);
+    }
+
+    #[test]
+    fn checkpoints_are_periodic() {
+        let config = DisorderConfig::with_gamma(0.9).period(2_000).interval(500);
+        let mut p = Pipeline::new(query(2, 500), BufferPolicy::QualityDriven(config)).unwrap();
+        for e in workload(1_000, 100) {
+            p.push(e);
+        }
+        let report = p.finish();
+        // 10 s of arrival axis with L = 0.5 s: roughly 19–20 checkpoints.
+        assert!(
+            report.checkpoints.len() >= 18 && report.checkpoints.len() <= 21,
+            "got {}",
+            report.checkpoints.len()
+        );
+        for w in report.checkpoints.windows(2) {
+            assert_eq!(w[1].at - w[0].at, 500);
+        }
+    }
+
+    #[test]
+    fn fixed_k_policy_keeps_constant_buffer() {
+        let mut p = Pipeline::new(query(2, 500), BufferPolicy::FixedK(250)).unwrap();
+        for e in workload(500, 100) {
+            p.push(e);
+        }
+        assert_eq!(p.current_k(), 250);
+        let report = p.finish();
+        assert!((report.avg_k_ms - 250.0).abs() < 1e-9);
+        assert!(report.checkpoints.iter().all(|c| c.k == 250));
+    }
+
+    #[test]
+    fn pd_controller_reacts_to_recall_deficit() {
+        let config = DisorderConfig::with_gamma(0.95).period(4_000).interval(500);
+        let policy = BufferPolicy::PdController {
+            config,
+            gains: Default::default(),
+        };
+        let mut p = Pipeline::new(query(2, 500), policy).unwrap();
+        for e in workload(2_000, 400) {
+            p.push(e);
+        }
+        let report = p.finish();
+        assert!(report.checkpoints.iter().any(|c| c.k > 0));
+    }
+
+    #[test]
+    fn enumerating_pipeline_materializes_results() {
+        let mut p = Pipeline::enumerating(query(2, 200), BufferPolicy::NoKSlack).unwrap();
+        let mut materialized = 0usize;
+        for e in workload(200, 0) {
+            materialized += p.push(e).len();
+        }
+        let report = p.finish();
+        assert_eq!(materialized as u64, report.total_produced);
+        assert!(materialized > 0);
+    }
+
+    #[test]
+    fn report_unit_conversions() {
+        let mut p = Pipeline::new(query(2, 200), BufferPolicy::FixedK(2_000)).unwrap();
+        for e in workload(100, 0) {
+            p.push(e);
+        }
+        let report = p.finish();
+        assert!((report.avg_k_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(report.avg_adaptation_millis(), 0.0);
+        assert_eq!(report.policy, "fixed-k");
+        assert_eq!(report.duration_ms, 990);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let bad = DisorderConfig::with_gamma(2.0);
+        assert!(Pipeline::new(query(2, 200), BufferPolicy::QualityDriven(bad)).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! The three join queries of the paper's evaluation (Sec. VI).
+
+use mswj_join::{CommonKeyEquiJoin, DistanceWithin, JoinQuery, StarEquiJoin};
+use mswj_types::{Duration, FieldType, Schema, StreamSet, StreamSpec};
+use std::sync::Arc;
+
+/// Query Q×2: a 2-way join of two player-position streams on
+/// `dist(S1.xCoord, S1.yCoord, S2.xCoord, S2.yCoord) < threshold`
+/// within `window_ms` sliding windows.
+pub fn q2_query(window_ms: Duration, threshold_m: f64) -> JoinQuery {
+    let schema = Schema::new(vec![
+        ("sID", FieldType::Int),
+        ("xCoord", FieldType::Float),
+        ("yCoord", FieldType::Float),
+    ]);
+    let streams = StreamSet::new(vec![
+        StreamSpec::new("team_a", schema.clone(), window_ms),
+        StreamSpec::new("team_b", schema, window_ms),
+    ])
+    .expect("two streams are always valid");
+    let condition = Arc::new(
+        DistanceWithin::new(&streams, "xCoord", "yCoord", threshold_m)
+            .expect("coordinate attributes exist in both schemas"),
+    );
+    JoinQuery::new("Qx2", streams, condition).expect("arity matches")
+}
+
+/// Query Q×3: a 3-way equi-join `S1.a1 = S2.a1 AND S2.a1 = S3.a1` within
+/// `window_ms` sliding windows.
+pub fn q3_query(window_ms: Duration) -> JoinQuery {
+    let schema = Schema::new(vec![("a1", FieldType::Int)]);
+    let streams =
+        StreamSet::homogeneous(3, schema, window_ms).expect("three streams are always valid");
+    let condition =
+        Arc::new(CommonKeyEquiJoin::new(&streams, "a1").expect("a1 exists in every schema"));
+    JoinQuery::new("Qx3", streams, condition).expect("arity matches")
+}
+
+/// Query Q×4: a 4-way star equi-join
+/// `S1.a1 = S2.a1 AND S1.a2 = S3.a2 AND S1.a3 = S4.a3` within `window_ms`
+/// sliding windows.
+pub fn q4_query(window_ms: Duration) -> JoinQuery {
+    let streams = StreamSet::new(vec![
+        StreamSpec::new(
+            "S1",
+            Schema::new(vec![
+                ("a1", FieldType::Int),
+                ("a2", FieldType::Int),
+                ("a3", FieldType::Int),
+            ]),
+            window_ms,
+        ),
+        StreamSpec::new("S2", Schema::new(vec![("a1", FieldType::Int)]), window_ms),
+        StreamSpec::new("S3", Schema::new(vec![("a2", FieldType::Int)]), window_ms),
+        StreamSpec::new("S4", Schema::new(vec![("a3", FieldType::Int)]), window_ms),
+    ])
+    .expect("four streams are always valid");
+    let condition = Arc::new(
+        StarEquiJoin::new(
+            &streams,
+            0,
+            &[(1, "a1", "a1"), (2, "a2", "a2"), (3, "a3", "a3")],
+        )
+        .expect("attributes exist"),
+    );
+    JoinQuery::new("Qx4", streams, condition).expect("arity matches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q2_shape() {
+        let q = q2_query(5_000, 5.0);
+        assert_eq!(q.name(), "Qx2");
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.windows(), vec![5_000, 5_000]);
+        assert!(q.condition().equi_structure().is_none());
+    }
+
+    #[test]
+    fn q3_shape() {
+        let q = q3_query(5_000);
+        assert_eq!(q.name(), "Qx3");
+        assert_eq!(q.arity(), 3);
+        assert!(q.condition().equi_structure().is_some());
+    }
+
+    #[test]
+    fn q4_shape() {
+        let q = q4_query(3_000);
+        assert_eq!(q.name(), "Qx4");
+        assert_eq!(q.arity(), 4);
+        assert_eq!(q.windows(), vec![3_000; 4]);
+        assert!(q.condition().equi_structure().is_some());
+    }
+}

@@ -1,0 +1,33 @@
+//! Runs every experiment of the paper's evaluation section in sequence by
+//! spawning the per-figure binaries' logic inline.  Prefer the individual
+//! binaries (`fig6`, `table2`, `fig7`, …) when you only need one artifact.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 7] = ["fig6", "table2", "fig7", "fig8", "fig9", "fig10", "fig11"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()));
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================\n");
+        let binary = exe_dir
+            .as_ref()
+            .map(|d| d.join(name))
+            .filter(|p| p.exists());
+        let status = match binary {
+            Some(path) => Command::new(path).args(&args).status(),
+            None => Command::new("cargo")
+                .args(["run", "--release", "-p", "mswj-experiments", "--bin", name, "--"])
+                .args(&args)
+                .status(),
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("experiment {name} exited with {s}"),
+            Err(e) => eprintln!("failed to run {name}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! # mswj-experiments — the paper's evaluation, experiment by experiment
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of Sec. VI of
+//! the paper (see `DESIGN.md` for the full index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig6` | Fig. 6 — recall over time of the No-K-slack baseline |
+//! | `table2` | Table II — Max-K-slack average K and average γ(P) |
+//! | `fig7` | Fig. 7 — avg K and Φ(Γ)/Φ(.99Γ) vs Γ, EqSel vs NonEqSel |
+//! | `fig8` | Fig. 8 — effect of the measurement period P |
+//! | `fig9` | Fig. 9 — effect of the adaptation interval L |
+//! | `fig10` | Fig. 10 — effect of the K-search granularity g |
+//! | `fig11` | Fig. 11 — adaptation-step time vs g |
+//! | `run_all` | every experiment above, in sequence |
+//!
+//! All binaries accept `--duration-secs N`, `--seed N` and `--quick`; the
+//! defaults run a scaled-down but shape-preserving version of the paper's
+//! 23–30-minute workloads (see `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use mswj_core::{BufferPolicy, DisorderConfig, RunReport};
+use mswj_datasets::{Dataset, SoccerConfig, SoccerDataset, SyntheticConfig, SyntheticDataset};
+use mswj_metrics::{evaluate_recall, ground_truth_counts, CountSeries, RecallEvaluation};
+use mswj_types::Duration;
+
+/// Scale knobs shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Simulated duration of every dataset (seconds).
+    pub duration_secs: u64,
+    /// RNG seed for the workload generators.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            duration_secs: 240,
+            seed: 42,
+        }
+    }
+}
+
+impl Scale {
+    /// A fast configuration for smoke tests and benches.
+    pub fn quick() -> Self {
+        Scale {
+            duration_secs: 60,
+            seed: 42,
+        }
+    }
+
+    /// Parses `--duration-secs N`, `--seed N` and `--quick` from the
+    /// process arguments; unknown arguments are ignored.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_slice(&args)
+    }
+
+    /// Parses the same flags from an explicit argument slice (testable).
+    pub fn from_arg_slice(args: &[String]) -> Self {
+        let mut scale = Scale::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => scale = Scale::quick(),
+                "--duration-secs" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        scale.duration_secs = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        scale.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+}
+
+/// Builds the (simulated) soccer dataset D×2real at the given scale.
+pub fn dataset_d2(scale: Scale) -> Dataset {
+    let cfg = SoccerConfig::default().duration_secs(scale.duration_secs);
+    SoccerDataset::generate(&cfg, scale.seed).into_dataset()
+}
+
+/// Builds the synthetic 3-way dataset D×3syn at the given scale.
+pub fn dataset_d3(scale: Scale) -> Dataset {
+    let cfg = SyntheticConfig::three_way().duration_secs(scale.duration_secs);
+    SyntheticDataset::generate(&cfg, scale.seed).into_dataset()
+}
+
+/// Builds the synthetic 4-way dataset D×4syn at the given scale.
+pub fn dataset_d4(scale: Scale) -> Dataset {
+    let cfg = SyntheticConfig::four_way().duration_secs(scale.duration_secs);
+    SyntheticDataset::generate(&cfg, scale.seed).into_dataset()
+}
+
+/// All three (dataset, query) pairs of the evaluation, in paper order.
+pub fn all_datasets(scale: Scale) -> Vec<Dataset> {
+    vec![dataset_d2(scale), dataset_d3(scale), dataset_d4(scale)]
+}
+
+/// The paper's default disorder-handling configuration with recall
+/// requirement `gamma`:
+/// `P` = 1 min, `L` = 1 s, `b` = `g` = 10 ms, NonEqSel.
+pub fn paper_default_config(gamma: f64) -> DisorderConfig {
+    DisorderConfig::with_gamma(gamma)
+}
+
+/// Result of running one policy over one dataset and measuring it against
+/// the dataset's ground truth.
+#[derive(Debug, Clone)]
+pub struct PolicyEval {
+    /// The raw pipeline report.
+    pub report: RunReport,
+    /// Recall measurements against the ground truth.
+    pub recall: RecallEvaluation,
+}
+
+impl PolicyEval {
+    /// Average buffer size in seconds (the unit the paper plots).
+    pub fn avg_k_secs(&self) -> f64 {
+        self.report.avg_k_secs()
+    }
+}
+
+/// Computes the ground-truth result counts of a dataset.
+pub fn ground_truth(dataset: &Dataset) -> CountSeries {
+    ground_truth_counts(&dataset.query, &dataset.log)
+}
+
+/// Runs `policy` over `dataset`, measuring `γ(P)` with period `period_p`
+/// against a pre-computed ground truth.
+pub fn run_policy_with_truth(
+    dataset: &Dataset,
+    policy: BufferPolicy,
+    period_p: Duration,
+    truth: &CountSeries,
+) -> PolicyEval {
+    let mut pipeline = mswj_core::Pipeline::new(dataset.query.clone(), policy)
+        .expect("experiment configurations are valid");
+    for event in dataset.log.iter() {
+        pipeline.push(event.clone());
+    }
+    let report = pipeline.finish();
+    let recall = evaluate_recall(&report, truth, period_p);
+    PolicyEval { report, recall }
+}
+
+/// Convenience wrapper computing the ground truth on the fly.
+pub fn run_policy(dataset: &Dataset, policy: BufferPolicy, period_p: Duration) -> PolicyEval {
+    let truth = ground_truth(dataset);
+    run_policy_with_truth(dataset, policy, period_p, &truth)
+}
+
+/// The recall requirements swept by Fig. 7 and Fig. 11.
+pub const GAMMA_SWEEP: [f64; 4] = [0.9, 0.95, 0.99, 0.999];
+
+/// The measurement periods swept by Fig. 8 (seconds).
+pub const PERIOD_SWEEP_SECS: [u64; 4] = [30, 60, 180, 300];
+
+/// The adaptation intervals swept by Fig. 9 (milliseconds).
+pub const INTERVAL_SWEEP_MS: [u64; 5] = [100, 500, 1_000, 5_000, 10_000];
+
+/// The K-search granularities swept by Fig. 10 and Fig. 11 (milliseconds).
+pub const GRANULARITY_SWEEP_MS: [u64; 4] = [1, 10, 100, 1_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let d = Scale::from_arg_slice(&[]);
+        assert_eq!(d, Scale::default());
+        let q = Scale::from_arg_slice(&["--quick".into()]);
+        assert_eq!(q, Scale::quick());
+        let custom = Scale::from_arg_slice(&[
+            "prog".into(),
+            "--duration-secs".into(),
+            "33".into(),
+            "--seed".into(),
+            "7".into(),
+            "--unknown".into(),
+        ]);
+        assert_eq!(custom.duration_secs, 33);
+        assert_eq!(custom.seed, 7);
+    }
+
+    #[test]
+    fn datasets_are_generated_at_scale() {
+        let scale = Scale {
+            duration_secs: 10,
+            seed: 1,
+        };
+        let d2 = dataset_d2(scale);
+        let d3 = dataset_d3(scale);
+        let d4 = dataset_d4(scale);
+        assert_eq!(d2.query.arity(), 2);
+        assert_eq!(d3.query.arity(), 3);
+        assert_eq!(d4.query.arity(), 4);
+        assert!(!d2.is_empty() && !d3.is_empty() && !d4.is_empty());
+        assert_eq!(all_datasets(scale).len(), 3);
+    }
+
+    #[test]
+    fn run_policy_produces_consistent_eval() {
+        let scale = Scale {
+            duration_secs: 20,
+            seed: 3,
+        };
+        let d3 = dataset_d3(scale);
+        let config = paper_default_config(0.95).period(10_000).interval(1_000);
+        let truth = ground_truth(&d3);
+        assert!(truth.total() > 0, "Qx3 must produce results");
+        let eval = run_policy_with_truth(
+            &d3,
+            BufferPolicy::QualityDriven(config),
+            config.period_p,
+            &truth,
+        );
+        assert!(eval.report.total_produced > 0);
+        assert!(eval.recall.overall_recall > 0.0 && eval.recall.overall_recall <= 1.0);
+        assert!(eval.avg_k_secs() >= 0.0);
+    }
+
+    #[test]
+    fn no_k_slack_recall_is_below_max_k_slack() {
+        let scale = Scale {
+            duration_secs: 30,
+            seed: 5,
+        };
+        let d3 = dataset_d3(scale);
+        let truth = ground_truth(&d3);
+        let period = 10_000;
+        let none = run_policy_with_truth(&d3, BufferPolicy::NoKSlack, period, &truth);
+        let max = run_policy_with_truth(&d3, BufferPolicy::MaxKSlack, period, &truth);
+        assert!(max.recall.overall_recall >= none.recall.overall_recall);
+        assert!(max.avg_k_secs() > none.avg_k_secs());
+    }
+}

@@ -1,0 +1,32 @@
+//! # mswj-join — m-way sliding window join substrate
+//!
+//! This crate implements the join-side machinery the ICDE'16 paper builds
+//! on: time-based sliding windows with per-column count indexes, join
+//! conditions ranging from cross joins to user-defined predicates, and an
+//! MJoin-style m-way sliding window join operator implementing Alg. 2 of the
+//! paper (in-order tuples probe the windows of all other streams and produce
+//! results; out-of-order tuples are inserted without probing and therefore
+//! lose their results).
+//!
+//! The operator reports, for every processed tuple, both the number of
+//! actual join results `n_on(e)` and the size of the corresponding
+//! cross-join `n_x(e)` — exactly the two quantities the Tuple-Productivity
+//! Profiler of the disorder-handling framework consumes (Sec. IV-B).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod condition;
+pub mod operator;
+pub mod query;
+pub mod result;
+pub mod window;
+
+pub use condition::{
+    BandJoin, CommonKeyEquiJoin, CrossJoin, DistanceWithin, EquiStructure, JoinCondition,
+    PredicateFn, StarEquiJoin,
+};
+pub use operator::{MswjOperator, OperatorStats, ProbeOutcome};
+pub use query::JoinQuery;
+pub use result::JoinResult;
+pub use window::{Window, WindowStats};

@@ -1,0 +1,637 @@
+//! The MJoin-style m-way sliding window join operator (Alg. 2).
+//!
+//! The operator receives the (partially) sorted and synchronized stream
+//! produced by the disorder-handling front-end and processes each tuple as
+//! follows:
+//!
+//! 1. If the tuple is **in order** (its timestamp is not smaller than the
+//!    maximum timestamp `onT` seen so far): advance `onT`, invalidate
+//!    expired tuples in the windows of every *other* stream, probe those
+//!    windows, emit the qualifying result tuples, and insert the tuple into
+//!    its own window.
+//! 2. If the tuple is **out of order**: skip invalidation and probing (its
+//!    results are lost), but still insert it into its own window if it is
+//!    within the window's current scope so that it can contribute to future
+//!    results.
+//!
+//! For every processed tuple the operator reports the number of produced
+//! join results `n_on(e)` and the corresponding cross-join size `n_x(e)`;
+//! the Tuple-Productivity Profiler consumes these to learn the
+//! delay-productivity correlation (Sec. IV-B).
+
+use crate::condition::{EquiStructure, JoinCondition};
+use crate::query::JoinQuery;
+use crate::result::JoinResult;
+use crate::window::Window;
+use mswj_types::{StreamIndex, Timestamp, Tuple, Value};
+use std::sync::Arc;
+
+/// What happened when one tuple was pushed into the operator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeOutcome {
+    /// Whether the tuple arrived in timestamp order w.r.t. `onT`.
+    pub in_order: bool,
+    /// Whether the tuple was inserted into its window (out-of-order tuples
+    /// that already fell out of the window scope are dropped).
+    pub inserted: bool,
+    /// Number of join results derived at this arrival (`n_on(e)`); zero for
+    /// out-of-order tuples.
+    pub n_join: u64,
+    /// Size of the corresponding cross-join (`n_x(e)`), i.e. the product of
+    /// the other windows' cardinalities at probe time; zero for out-of-order
+    /// tuples.
+    pub n_cross: u64,
+    /// Number of tuples expired from other windows by this arrival.
+    pub expired: usize,
+    /// Materialized results (empty unless the operator enumerates results).
+    pub results: Vec<JoinResult>,
+}
+
+/// Aggregate counters over the operator's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// Tuples processed in timestamp order (probing arrivals).
+    pub in_order: u64,
+    /// Tuples processed out of timestamp order (non-probing arrivals).
+    pub out_of_order: u64,
+    /// Out-of-order tuples that were too old to be inserted into their
+    /// window and were dropped entirely.
+    pub dropped: u64,
+    /// Total join results produced.
+    pub results: u64,
+    /// Total cross-join combinations corresponding to probing arrivals.
+    pub cross_results: u64,
+    /// Total expired tuples across all windows.
+    pub expired: u64,
+}
+
+/// The m-way sliding window join operator.
+pub struct MswjOperator {
+    query: JoinQuery,
+    condition: Arc<dyn JoinCondition>,
+    equi: Option<EquiStructure>,
+    windows: Vec<Window>,
+    on_t: Timestamp,
+    started: bool,
+    enumerate: bool,
+    stats: OperatorStats,
+}
+
+impl std::fmt::Debug for MswjOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MswjOperator")
+            .field("query", &self.query)
+            .field("on_t", &self.on_t)
+            .field("enumerate", &self.enumerate)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MswjOperator {
+    /// Creates an operator that **counts** join results without
+    /// materializing them.  Counting uses the windows' per-column count
+    /// indexes when the join condition is an equi-join, which makes the
+    /// paper-scale workloads tractable.
+    pub fn new(query: JoinQuery) -> Self {
+        Self::build(query, false)
+    }
+
+    /// Creates an operator that additionally **materializes** every result
+    /// tuple.  Intended for small-scale runs, examples and tests.
+    pub fn enumerating(query: JoinQuery) -> Self {
+        Self::build(query, true)
+    }
+
+    fn build(query: JoinQuery, enumerate: bool) -> Self {
+        let condition = Arc::clone(query.condition());
+        let equi = condition.equi_structure();
+        let m = query.arity();
+        let mut windows = Vec::with_capacity(m);
+        for i in 0..m {
+            let size = query.window(StreamIndex(i));
+            let indexed = match &equi {
+                Some(EquiStructure::CommonKey { columns }) => vec![columns[i]],
+                Some(EquiStructure::Star {
+                    anchor,
+                    other_cols,
+                    ..
+                }) if i != *anchor => vec![other_cols[i]],
+                _ => vec![],
+            };
+            windows.push(Window::with_indexed_columns(size, &indexed));
+        }
+        MswjOperator {
+            query,
+            condition,
+            equi,
+            windows,
+            on_t: Timestamp::ZERO,
+            started: false,
+            enumerate,
+            stats: OperatorStats::default(),
+        }
+    }
+
+    /// The query this operator executes.
+    pub fn query(&self) -> &JoinQuery {
+        &self.query
+    }
+
+    /// The maximum timestamp among tuples received so far (`onT`).
+    pub fn on_t(&self) -> Timestamp {
+        self.on_t
+    }
+
+    /// The window of stream `i`.
+    pub fn window(&self, i: StreamIndex) -> &Window {
+        &self.windows[i.as_usize()]
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> OperatorStats {
+        self.stats
+    }
+
+    /// Whether the operator materializes result tuples.
+    pub fn is_enumerating(&self) -> bool {
+        self.enumerate
+    }
+
+    /// Clears every window and resets `onT`, keeping the query.
+    pub fn reset(&mut self) {
+        for w in &mut self.windows {
+            w.clear();
+        }
+        self.on_t = Timestamp::ZERO;
+        self.started = false;
+        self.stats = OperatorStats::default();
+    }
+
+    /// Processes one tuple according to Alg. 2 and reports what happened.
+    pub fn push(&mut self, tuple: Tuple) -> ProbeOutcome {
+        let i = tuple.stream.as_usize();
+        debug_assert!(i < self.windows.len(), "tuple references unknown stream");
+        let in_order = !self.started || tuple.ts >= self.on_t;
+        let mut outcome = ProbeOutcome {
+            in_order,
+            ..ProbeOutcome::default()
+        };
+        if in_order {
+            self.on_t = tuple.ts;
+            self.started = true;
+            // Step 1: invalidate expired tuples in windows of other streams.
+            for j in 0..self.windows.len() {
+                if j != i {
+                    let w_j = self.query.window(StreamIndex(j));
+                    let bound = tuple.ts.saturating_sub_duration(w_j);
+                    outcome.expired += self.windows[j].expire_before(bound);
+                }
+            }
+            // Step 2: probe remaining tuples in all other windows.
+            outcome.n_cross = self.cross_size(i);
+            if self.enumerate {
+                let results = self.enumerate_results(i, &tuple);
+                outcome.n_join = results.len() as u64;
+                outcome.results = results;
+            } else {
+                outcome.n_join = self.count_results(i, &tuple);
+            }
+            // Step 3: insert into own window.
+            self.windows[i].insert(tuple);
+            outcome.inserted = true;
+            self.stats.in_order += 1;
+            self.stats.results += outcome.n_join;
+            self.stats.cross_results += outcome.n_cross;
+            self.stats.expired += outcome.expired as u64;
+        } else {
+            // Out-of-order tuple: no probing; insert only if still in scope
+            // (e.ts >= onT - W_i, Sec. III-A).
+            self.stats.out_of_order += 1;
+            let w_i = self.query.window(StreamIndex(i));
+            if tuple.ts >= self.on_t.saturating_sub_duration(w_i) {
+                self.windows[i].insert(tuple);
+                outcome.inserted = true;
+            } else {
+                self.stats.dropped += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Product of the other windows' cardinalities: the cross-join size at
+    /// the arrival of a probing tuple of stream `i`.
+    fn cross_size(&self, i: usize) -> u64 {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, w)| w.len() as u64)
+            .product()
+    }
+
+    /// Index-assisted (or enumerated) count of the join results derived by a
+    /// probing tuple of stream `i`.
+    fn count_results(&self, i: usize, tuple: &Tuple) -> u64 {
+        match &self.equi {
+            Some(EquiStructure::CommonKey { columns }) => {
+                let key = match tuple.value(columns[i]).and_then(int_key) {
+                    Some(k) => k,
+                    None => return 0,
+                };
+                let mut product = 1u64;
+                for (j, w) in self.windows.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let c = w.count_key(columns[j], key);
+                    if c == 0 {
+                        return 0;
+                    }
+                    product = product.saturating_mul(c);
+                }
+                product
+            }
+            Some(EquiStructure::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            }) => {
+                if i == *anchor {
+                    let mut product = 1u64;
+                    for (j, w) in self.windows.iter().enumerate() {
+                        if j == *anchor {
+                            continue;
+                        }
+                        let key = match tuple.value(anchor_cols[j]).and_then(int_key) {
+                            Some(k) => k,
+                            None => return 0,
+                        };
+                        let c = w.count_key(other_cols[j], key);
+                        if c == 0 {
+                            return 0;
+                        }
+                        product = product.saturating_mul(c);
+                    }
+                    product
+                } else {
+                    // Probing tuple belongs to a satellite stream: iterate the
+                    // anchor tuples that match it and multiply the counts of
+                    // the remaining satellites for each.
+                    let own_key = match tuple.value(other_cols[i]).and_then(int_key) {
+                        Some(k) => k,
+                        None => return 0,
+                    };
+                    let mut total = 0u64;
+                    'anchor: for a in self.windows[*anchor].iter() {
+                        match a.value(anchor_cols[i]).and_then(int_key) {
+                            Some(k) if k == own_key => {}
+                            _ => continue,
+                        }
+                        let mut product = 1u64;
+                        for (k, w) in self.windows.iter().enumerate() {
+                            if k == *anchor || k == i {
+                                continue;
+                            }
+                            let key = match a.value(anchor_cols[k]).and_then(int_key) {
+                                Some(v) => v,
+                                None => continue 'anchor,
+                            };
+                            let c = w.count_key(other_cols[k], key);
+                            if c == 0 {
+                                continue 'anchor;
+                            }
+                            product = product.saturating_mul(c);
+                        }
+                        total = total.saturating_add(product);
+                    }
+                    total
+                }
+            }
+            None => self.enumerate_count(i, tuple),
+        }
+    }
+
+    /// Nested-loop count of matching combinations for arbitrary conditions.
+    fn enumerate_count(&self, i: usize, tuple: &Tuple) -> u64 {
+        let mut count = 0u64;
+        self.for_each_combination(i, tuple, &mut |_| count += 1);
+        count
+    }
+
+    /// Nested-loop enumeration producing materialized results.
+    fn enumerate_results(&self, i: usize, tuple: &Tuple) -> Vec<JoinResult> {
+        let mut results = Vec::new();
+        self.for_each_combination(i, tuple, &mut |combo| {
+            results.push(JoinResult::new(combo.iter().map(|&t| t.clone()).collect()));
+        });
+        results
+    }
+
+    /// Invokes `f` for every combination of one live tuple per other stream
+    /// (plus the probing tuple at position `i`) that satisfies the join
+    /// condition.  Combinations are presented in stream order.
+    fn for_each_combination<'a>(
+        &'a self,
+        i: usize,
+        tuple: &'a Tuple,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let m = self.windows.len();
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        self.recurse(0, i, tuple, &mut slots, f);
+    }
+
+    fn recurse<'a>(
+        &'a self,
+        j: usize,
+        probe: usize,
+        tuple: &'a Tuple,
+        slots: &mut Vec<&'a Tuple>,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        if j == self.windows.len() {
+            if self.condition.matches(slots) {
+                f(slots);
+            }
+            return;
+        }
+        if j == probe {
+            slots[j] = tuple;
+            self.recurse(j + 1, probe, tuple, slots, f);
+        } else {
+            for candidate in self.windows[j].iter() {
+                slots[j] = candidate;
+                self.recurse(j + 1, probe, tuple, slots, f);
+            }
+        }
+    }
+}
+
+fn int_key(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) => Some(*i),
+        Value::Bool(b) => Some(*b as i64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{CommonKeyEquiJoin, CrossJoin, DistanceWithin, StarEquiJoin};
+    use mswj_types::{FieldType, Schema, StreamSet, StreamSpec};
+
+    fn equi_query(m: usize, window: u64) -> JoinQuery {
+        let streams =
+            StreamSet::homogeneous(m, Schema::new(vec![("a1", FieldType::Int)]), window).unwrap();
+        let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+        JoinQuery::new("equi", streams, cond).unwrap()
+    }
+
+    fn tup(stream: usize, seq: u64, ts: u64, key: i64) -> Tuple {
+        Tuple::new(
+            stream.into(),
+            seq,
+            Timestamp::from_millis(ts),
+            vec![Value::Int(key)],
+        )
+    }
+
+    #[test]
+    fn fig1_missed_result_without_disorder_handling() {
+        // Reproduces the motivating example of Fig. 1: a 2-way join with
+        // W1 = W2 = 2 time units; the out-of-order tuple C4 misses its match
+        // c3 because B6 already advanced the windows.
+        let streams = StreamSet::homogeneous(
+            2,
+            Schema::new(vec![("v", FieldType::Int)]),
+            2, // 2 "time units" = 2 ms in our clock
+        )
+        .unwrap();
+        let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "v").unwrap());
+        let query = JoinQuery::new("fig1", streams, cond).unwrap();
+        let mut op = MswjOperator::enumerating(query);
+
+        // Arrival order from Fig. 1 (values renamed to integers):
+        // A1, b2, B3, c3, a4, E5, B6, C4(out of order), e5, D8, d6, e7, B7
+        // We only check the C4/c3 part: after B6 arrives, c3 (ts=3) expires
+        // from S2's window, so the late C4 derives nothing.
+        op.push(tup(0, 0, 1, 10)); // A1
+        op.push(tup(1, 0, 2, 11)); // b2
+        let r_b3 = op.push(tup(0, 1, 3, 11)); // B3 joins b2
+        assert_eq!(r_b3.n_join, 1);
+        op.push(tup(1, 1, 3, 12)); // c3
+        op.push(tup(0, 2, 5, 13)); // E5
+        let r_b6 = op.push(tup(0, 3, 6, 11)); // B6 advances onT to 6, expires c3 (3 < 6-2=4)
+        assert_eq!(r_b6.n_join, 0);
+        // C4 arrives late (ts 4 < onT 6): no probing, so its result with c3 is missed.
+        let r_c4 = op.push(tup(0, 4, 4, 12));
+        assert!(!r_c4.in_order);
+        assert_eq!(r_c4.n_join, 0);
+        assert!(r_c4.inserted, "C4 is still within S1's window scope");
+        assert_eq!(op.stats().out_of_order, 1);
+    }
+
+    #[test]
+    fn in_order_equi_join_counts_and_results_agree() {
+        let query = equi_query(2, 10_000);
+        let mut counting = MswjOperator::new(query.clone());
+        let mut enumerating = MswjOperator::enumerating(query);
+        let tuples = vec![
+            tup(0, 0, 0, 1),
+            tup(1, 0, 10, 1),
+            tup(0, 1, 20, 2),
+            tup(1, 1, 30, 2),
+            tup(0, 2, 40, 1),
+            tup(1, 2, 50, 1),
+        ];
+        let mut total_counting = 0;
+        let mut total_enumerated = 0;
+        for t in tuples {
+            let a = counting.push(t.clone());
+            let b = enumerating.push(t);
+            assert_eq!(a.n_join, b.n_join);
+            assert_eq!(a.n_cross, b.n_cross);
+            assert_eq!(b.n_join as usize, b.results.len());
+            total_counting += a.n_join;
+            total_enumerated += b.results.len() as u64;
+        }
+        // (0,1)x(1,1): S2#0 joins S1#0; S1#2 joins S2#0; S2#2 joins S1#0 and S1#2, etc.
+        assert_eq!(total_counting, total_enumerated);
+        assert!(total_counting >= 4);
+        assert!(!counting.is_enumerating());
+        assert!(enumerating.is_enumerating());
+    }
+
+    #[test]
+    fn out_of_order_tuple_produces_nothing_but_contributes_later() {
+        let query = equi_query(2, 1_000);
+        let mut op = MswjOperator::new(query);
+        op.push(tup(0, 0, 100, 7));
+        op.push(tup(1, 0, 500, 7)); // joins -> 1 result
+        // Late S2 tuple (ts 200 < onT 500) is inserted silently.
+        let late = op.push(tup(1, 1, 200, 7));
+        assert!(!late.in_order);
+        assert_eq!(late.n_join, 0);
+        assert!(late.inserted);
+        // A later S1 tuple joins both S2 tuples.
+        let r = op.push(tup(0, 1, 600, 7));
+        assert_eq!(r.n_join, 2);
+        assert_eq!(op.stats().results, 3);
+    }
+
+    #[test]
+    fn too_old_out_of_order_tuple_is_dropped() {
+        let query = equi_query(2, 1_000);
+        let mut op = MswjOperator::new(query);
+        op.push(tup(0, 0, 5_000, 1));
+        let r = op.push(tup(1, 0, 1_000, 1)); // 1000 < 5000 - 1000 => dropped
+        assert!(!r.in_order);
+        assert!(!r.inserted);
+        assert_eq!(op.stats().dropped, 1);
+        assert_eq!(op.window(StreamIndex(1)).len(), 0);
+    }
+
+    #[test]
+    fn window_expiration_follows_probing_timestamp() {
+        let query = equi_query(2, 1_000);
+        let mut op = MswjOperator::new(query);
+        op.push(tup(0, 0, 0, 1));
+        op.push(tup(0, 1, 500, 1));
+        // S2 tuple at t=1400 expires the S1 tuple at t=0 (0 < 1400-1000).
+        let r = op.push(tup(1, 0, 1_400, 1));
+        assert_eq!(r.expired, 1);
+        assert_eq!(op.window(StreamIndex(0)).len(), 1);
+        assert_eq!(r.n_join, 1); // joins only the surviving S1 tuple
+        assert_eq!(op.on_t(), Timestamp::from_millis(1_400));
+    }
+
+    #[test]
+    fn cross_join_counts_are_window_products() {
+        let streams =
+            StreamSet::homogeneous(3, Schema::new(vec![("a1", FieldType::Int)]), 10_000).unwrap();
+        let cond = Arc::new(CrossJoin::new(3));
+        let query = JoinQuery::new("cross", streams, cond).unwrap();
+        let mut op = MswjOperator::new(query);
+        op.push(tup(0, 0, 0, 1));
+        op.push(tup(0, 1, 1, 2));
+        op.push(tup(1, 0, 2, 3));
+        // Probing S3 tuple sees |W1| = 2, |W2| = 1 -> 2 cross results.
+        let r = op.push(tup(2, 0, 3, 4));
+        assert_eq!(r.n_cross, 2);
+        assert_eq!(r.n_join, 2);
+    }
+
+    #[test]
+    fn star_join_counts_match_enumeration() {
+        // Q×4-shaped query at a small scale.
+        let streams = StreamSet::new(vec![
+            StreamSpec::new(
+                "S1",
+                Schema::new(vec![
+                    ("a1", FieldType::Int),
+                    ("a2", FieldType::Int),
+                    ("a3", FieldType::Int),
+                ]),
+                10_000,
+            ),
+            StreamSpec::new("S2", Schema::new(vec![("a1", FieldType::Int)]), 10_000),
+            StreamSpec::new("S3", Schema::new(vec![("a2", FieldType::Int)]), 10_000),
+            StreamSpec::new("S4", Schema::new(vec![("a3", FieldType::Int)]), 10_000),
+        ])
+        .unwrap();
+        let cond = Arc::new(
+            StarEquiJoin::new(
+                &streams,
+                0,
+                &[(1, "a1", "a1"), (2, "a2", "a2"), (3, "a3", "a3")],
+            )
+            .unwrap(),
+        );
+        let query = JoinQuery::new("star", streams, cond).unwrap();
+        let mut counting = MswjOperator::new(query.clone());
+        let mut enumerating = MswjOperator::enumerating(query);
+
+        let anchor = |seq: u64, ts: u64, a1: i64, a2: i64, a3: i64| {
+            Tuple::new(
+                0.into(),
+                seq,
+                Timestamp::from_millis(ts),
+                vec![Value::Int(a1), Value::Int(a2), Value::Int(a3)],
+            )
+        };
+        let sat = |stream: usize, seq: u64, ts: u64, v: i64| tup(stream, seq, ts, v);
+
+        let script = vec![
+            sat(1, 0, 0, 1),
+            sat(2, 0, 1, 2),
+            sat(3, 0, 2, 3),
+            anchor(0, 3, 1, 2, 3),  // matches all satellites -> 1 result
+            sat(1, 1, 4, 1),        // satellite probing anchor -> 1 result
+            anchor(1, 5, 1, 2, 9),  // a3 mismatch -> 0
+            sat(3, 1, 6, 9),        // matches second anchor only -> 2 (two S2 with a1=1)
+            sat(2, 1, 7, 2),        // probes both anchors
+        ];
+        for t in script {
+            let a = counting.push(t.clone());
+            let b = enumerating.push(t);
+            assert_eq!(a.n_join, b.n_join, "count vs enumeration disagreement");
+            assert_eq!(b.results.len() as u64, b.n_join);
+        }
+        assert_eq!(counting.stats().results, enumerating.stats().results);
+        assert!(counting.stats().results > 0);
+    }
+
+    #[test]
+    fn udf_condition_uses_nested_loop_counting() {
+        let schema = Schema::new(vec![
+            ("sID", FieldType::Int),
+            ("xCoord", FieldType::Float),
+            ("yCoord", FieldType::Float),
+        ]);
+        let streams = StreamSet::homogeneous(2, schema, 5_000).unwrap();
+        let cond = Arc::new(DistanceWithin::new(&streams, "xCoord", "yCoord", 5.0).unwrap());
+        let query = JoinQuery::new("dist", streams, cond).unwrap();
+        let mut op = MswjOperator::new(query);
+        let pos = |stream: usize, seq: u64, ts: u64, x: f64, y: f64| {
+            Tuple::new(
+                stream.into(),
+                seq,
+                Timestamp::from_millis(ts),
+                vec![Value::Int(seq as i64), Value::Float(x), Value::Float(y)],
+            )
+        };
+        op.push(pos(0, 0, 0, 0.0, 0.0));
+        op.push(pos(0, 1, 10, 50.0, 50.0));
+        let r = op.push(pos(1, 0, 20, 1.0, 1.0)); // near the first only
+        assert_eq!(r.n_join, 1);
+        assert_eq!(r.n_cross, 2);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_query() {
+        let query = equi_query(2, 1_000);
+        let mut op = MswjOperator::new(query);
+        op.push(tup(0, 0, 100, 1));
+        op.push(tup(1, 0, 200, 1));
+        assert!(op.stats().results > 0);
+        op.reset();
+        assert_eq!(op.on_t(), Timestamp::ZERO);
+        assert_eq!(op.stats(), OperatorStats::default());
+        assert_eq!(op.window(StreamIndex(0)).len(), 0);
+        // Operator is usable again after reset.
+        let r = op.push(tup(0, 0, 50, 1));
+        assert!(r.in_order);
+    }
+
+    #[test]
+    fn first_tuple_is_always_in_order() {
+        let query = equi_query(2, 1_000);
+        let mut op = MswjOperator::new(query);
+        let r = op.push(tup(0, 0, 999, 1));
+        assert!(r.in_order);
+        assert_eq!(r.n_cross, 0);
+        assert_eq!(r.n_join, 0);
+    }
+}

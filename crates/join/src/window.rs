@@ -1,0 +1,333 @@
+//! Time-based sliding windows over one input stream.
+//!
+//! Each input stream `S_i` of an MSWJ carries a user-specified, time-based
+//! sliding window of `W_i` milliseconds (Sec. II-A).  The window holds the
+//! tuples whose timestamps are still within scope, supports expiration
+//! driven by the timestamp of a newly processed tuple (Alg. 2, line 6) and
+//! maintains per-column *count indexes* so that equi-join result sizes can
+//! be computed without enumerating every combination.
+
+use mswj_types::{Duration, Timestamp, Tuple, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// Aggregate statistics about a window's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Total number of tuples ever inserted.
+    pub inserted: u64,
+    /// Total number of tuples expired.
+    pub expired: u64,
+    /// Number of inserts that were not appended at the tail (i.e. the tuple
+    /// was out of timestamp order with respect to the window content).
+    pub unordered_inserts: u64,
+    /// Largest number of tuples simultaneously held.
+    pub peak_len: usize,
+}
+
+/// A time-based sliding window holding the live tuples of one stream.
+///
+/// Tuples are kept ordered by timestamp (ties broken by insertion order) so
+/// that expiration is a pop-from-the-front operation in the common case.
+/// Optionally, integer columns can be indexed; the index maintains, for each
+/// distinct value, the number of live tuples carrying it.
+///
+/// # Examples
+///
+/// ```
+/// use mswj_join::Window;
+/// use mswj_types::{Tuple, Timestamp, Value};
+/// let mut w = Window::new(1_000);
+/// w.insert(Tuple::new(0.into(), 0, Timestamp::from_millis(100), vec![Value::Int(7)]));
+/// w.insert(Tuple::new(0.into(), 1, Timestamp::from_millis(600), vec![Value::Int(7)]));
+/// assert_eq!(w.len(), 2);
+/// // A tuple at t=1200 expires everything with ts < 1200 - 1000 = 200.
+/// let expired = w.expire_before(Timestamp::from_millis(200));
+/// assert_eq!(expired, 1);
+/// assert_eq!(w.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Window {
+    size: Duration,
+    tuples: VecDeque<Tuple>,
+    /// column position -> (value -> live count)
+    count_index: HashMap<usize, HashMap<i64, u64>>,
+    stats: WindowStats,
+}
+
+impl Window {
+    /// Creates a window of `size` milliseconds with no indexed columns.
+    pub fn new(size: Duration) -> Self {
+        Window {
+            size,
+            tuples: VecDeque::new(),
+            count_index: HashMap::new(),
+            stats: WindowStats::default(),
+        }
+    }
+
+    /// Creates a window that maintains count indexes on the given integer
+    /// column positions.
+    pub fn with_indexed_columns(size: Duration, columns: &[usize]) -> Self {
+        let mut w = Window::new(size);
+        for &c in columns {
+            w.count_index.entry(c).or_default();
+        }
+        w
+    }
+
+    /// The window size `W_i` in milliseconds.
+    pub fn size(&self) -> Duration {
+        self.size
+    }
+
+    /// Number of live tuples `|S_i[W_i]|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the window holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> WindowStats {
+        self.stats
+    }
+
+    /// Iterates over live tuples in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// The smallest timestamp currently held, if any.
+    pub fn min_ts(&self) -> Option<Timestamp> {
+        self.tuples.front().map(|t| t.ts)
+    }
+
+    /// The largest timestamp currently held, if any.
+    pub fn max_ts(&self) -> Option<Timestamp> {
+        self.tuples.back().map(|t| t.ts)
+    }
+
+    /// Inserts a tuple, keeping the content ordered by timestamp.
+    pub fn insert(&mut self, tuple: Tuple) {
+        for (&col, index) in self.count_index.iter_mut() {
+            if let Some(key) = tuple.value(col).and_then(int_key) {
+                *index.entry(key).or_insert(0) += 1;
+            }
+        }
+        let in_order = self
+            .tuples
+            .back()
+            .map(|last| last.ts <= tuple.ts)
+            .unwrap_or(true);
+        if in_order {
+            self.tuples.push_back(tuple);
+        } else {
+            // Out-of-order insertion (Alg. 2, lines 9–10): find the position
+            // from the back, since late tuples are usually only a little late.
+            self.stats.unordered_inserts += 1;
+            let mut pos = self.tuples.len();
+            while pos > 0 && self.tuples[pos - 1].ts > tuple.ts {
+                pos -= 1;
+            }
+            self.tuples.insert(pos, tuple);
+        }
+        self.stats.inserted += 1;
+        if self.tuples.len() > self.stats.peak_len {
+            self.stats.peak_len = self.tuples.len();
+        }
+    }
+
+    /// Removes every tuple with `ts < bound` (Alg. 2, line 6, where
+    /// `bound = e_i.ts - W_j`).  Returns the number of expired tuples.
+    pub fn expire_before(&mut self, bound: Timestamp) -> usize {
+        let mut expired = 0;
+        while let Some(front) = self.tuples.front() {
+            if front.ts < bound {
+                let t = self.tuples.pop_front().expect("front checked above");
+                for (&col, index) in self.count_index.iter_mut() {
+                    if let Some(key) = t.value(col).and_then(int_key) {
+                        if let Some(cnt) = index.get_mut(&key) {
+                            *cnt -= 1;
+                            if *cnt == 0 {
+                                index.remove(&key);
+                            }
+                        }
+                    }
+                }
+                expired += 1;
+            } else {
+                break;
+            }
+        }
+        self.stats.expired += expired as u64;
+        expired
+    }
+
+    /// Number of live tuples whose indexed column `col` equals `key`.
+    ///
+    /// Falls back to a scan when the column is not indexed.
+    pub fn count_key(&self, col: usize, key: i64) -> u64 {
+        if let Some(index) = self.count_index.get(&col) {
+            index.get(&key).copied().unwrap_or(0)
+        } else {
+            self.tuples
+                .iter()
+                .filter(|t| t.value(col).and_then(int_key) == Some(key))
+                .count() as u64
+        }
+    }
+
+    /// Iterates over live tuples whose column `col` equals `key`.
+    pub fn matching<'a>(
+        &'a self,
+        col: usize,
+        key: i64,
+    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+        self.tuples
+            .iter()
+            .filter(move |t| t.value(col).and_then(int_key) == Some(key))
+    }
+
+    /// Whether `col` has a count index.
+    pub fn is_indexed(&self, col: usize) -> bool {
+        self.count_index.contains_key(&col)
+    }
+
+    /// Removes every tuple (used when resetting an operator between runs).
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        for index in self.count_index.values_mut() {
+            index.clear();
+        }
+    }
+}
+
+/// Maps an integer-convertible [`Value`] to the index key domain.
+fn int_key(v: &Value) -> Option<i64> {
+    match v {
+        Value::Int(i) => Some(*i),
+        Value::Bool(b) => Some(*b as i64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mswj_types::StreamIndex;
+
+    fn tup(seq: u64, ts: u64, key: i64) -> Tuple {
+        Tuple::new(
+            StreamIndex(0),
+            seq,
+            Timestamp::from_millis(ts),
+            vec![Value::Int(key)],
+        )
+    }
+
+    #[test]
+    fn insert_keeps_timestamp_order() {
+        let mut w = Window::new(1_000);
+        w.insert(tup(0, 100, 1));
+        w.insert(tup(1, 300, 2));
+        w.insert(tup(2, 200, 3)); // out of order
+        let ts: Vec<u64> = w.iter().map(|t| t.ts.as_millis()).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+        assert_eq!(w.stats().unordered_inserts, 1);
+        assert_eq!(w.min_ts(), Some(Timestamp::from_millis(100)));
+        assert_eq!(w.max_ts(), Some(Timestamp::from_millis(300)));
+    }
+
+    #[test]
+    fn expiration_removes_only_old_tuples() {
+        let mut w = Window::new(500);
+        for (i, ts) in [100u64, 200, 300, 400].iter().enumerate() {
+            w.insert(tup(i as u64, *ts, 1));
+        }
+        let removed = w.expire_before(Timestamp::from_millis(250));
+        assert_eq!(removed, 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.min_ts(), Some(Timestamp::from_millis(300)));
+        assert_eq!(w.stats().expired, 2);
+        // Expiring with an older bound is a no-op.
+        assert_eq!(w.expire_before(Timestamp::from_millis(100)), 0);
+    }
+
+    #[test]
+    fn expiration_bound_is_exclusive() {
+        // Tuples with ts == bound stay: the paper removes ts < ei.ts - Wj.
+        let mut w = Window::new(500);
+        w.insert(tup(0, 100, 1));
+        w.insert(tup(1, 200, 1));
+        assert_eq!(w.expire_before(Timestamp::from_millis(200)), 1);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn count_index_tracks_inserts_and_expirations() {
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        assert!(w.is_indexed(0));
+        assert!(!w.is_indexed(1));
+        w.insert(tup(0, 100, 7));
+        w.insert(tup(1, 200, 7));
+        w.insert(tup(2, 300, 9));
+        assert_eq!(w.count_key(0, 7), 2);
+        assert_eq!(w.count_key(0, 9), 1);
+        assert_eq!(w.count_key(0, 5), 0);
+        w.expire_before(Timestamp::from_millis(250));
+        assert_eq!(w.count_key(0, 7), 0);
+        assert_eq!(w.count_key(0, 9), 1);
+    }
+
+    #[test]
+    fn count_key_without_index_scans() {
+        let mut w = Window::new(1_000);
+        w.insert(tup(0, 100, 4));
+        w.insert(tup(1, 200, 4));
+        assert_eq!(w.count_key(0, 4), 2);
+        assert_eq!(w.count_key(0, 1), 0);
+    }
+
+    #[test]
+    fn matching_iterates_only_matching_tuples() {
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        w.insert(tup(0, 100, 4));
+        w.insert(tup(1, 150, 5));
+        w.insert(tup(2, 200, 4));
+        let seqs: Vec<u64> = w.matching(0, 4).map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 2]);
+    }
+
+    #[test]
+    fn peak_len_and_clear() {
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        for i in 0..5 {
+            w.insert(tup(i, 100 * (i + 1), 1));
+        }
+        assert_eq!(w.stats().peak_len, 5);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.count_key(0, 1), 0);
+        // Peak is a lifetime statistic and survives clear().
+        assert_eq!(w.stats().peak_len, 5);
+    }
+
+    #[test]
+    fn non_integer_columns_are_ignored_by_index() {
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        w.insert(Tuple::new(
+            StreamIndex(0),
+            0,
+            Timestamp::from_millis(10),
+            vec![Value::Float(2.5)],
+        ));
+        assert_eq!(w.count_key(0, 2), 0);
+        assert_eq!(w.len(), 1);
+        // Expiration of unindexed-value tuples must not underflow the index.
+        w.expire_before(Timestamp::from_millis(100));
+        assert!(w.is_empty());
+    }
+}
