@@ -164,7 +164,7 @@ impl Adwin {
         self.rows[0].push_front(Bucket::single(value));
         self.total = self.total.merge(Bucket::single(value));
         self.compress();
-        if self.observed % self.check_period == 0 {
+        if self.observed.is_multiple_of(self.check_period) {
             self.detect_and_shrink()
         } else {
             false

@@ -19,7 +19,11 @@ fn eqsel_vs_noneqsel(c: &mut Criterion) {
         group.bench_function(format!("{strategy}"), |b| {
             b.iter(|| {
                 let config = bench_config(0.95).selectivity_strategy(strategy);
-                black_box(run_for_avg_k(&d3, BufferPolicy::QualityDriven(config), &truth))
+                black_box(run_for_avg_k(
+                    &d3,
+                    BufferPolicy::QualityDriven(config),
+                    &truth,
+                ))
             })
         });
     }
@@ -34,7 +38,11 @@ fn basic_window_size(c: &mut Criterion) {
         group.bench_function(format!("b={b_ms}ms"), |b| {
             b.iter(|| {
                 let config = bench_config(0.95).basic_window(b_ms);
-                black_box(run_for_avg_k(&d3, BufferPolicy::QualityDriven(config), &truth))
+                black_box(run_for_avg_k(
+                    &d3,
+                    BufferPolicy::QualityDriven(config),
+                    &truth,
+                ))
             })
         });
     }

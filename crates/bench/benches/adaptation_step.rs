@@ -17,7 +17,10 @@ fn build_statistics(granularity: u64) -> StatisticsManager {
         for i in 0..5_000u64 {
             t += 10;
             let delay = if i % 10 == 0 { (i % 2_000) * 10 } else { 0 };
-            stats.observe(stream.into(), Timestamp::from_millis(t.saturating_sub(delay)));
+            stats.observe(
+                stream.into(),
+                Timestamp::from_millis(t.saturating_sub(delay)),
+            );
         }
     }
     stats

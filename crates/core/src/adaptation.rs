@@ -74,8 +74,7 @@ impl BufferSizeManager {
             return self.config.gamma;
         }
         let gamma = self.config.gamma;
-        let needed =
-            gamma * (n_true_history as f64 + n_true_next as f64) - n_prod_history as f64;
+        let needed = gamma * (n_true_history as f64 + n_true_next as f64) - n_prod_history as f64;
         (needed / n_true_next as f64).clamp(0.0, 1.0)
     }
 
@@ -240,15 +239,13 @@ mod tests {
         let mut monitor_surplus = ResultSizeMonitor::new(59_000);
         monitor_surplus.record_true_estimate(ts(19_000), 1_000);
         monitor_surplus.record_produced(ts(19_000), 1_000);
-        let with_surplus =
-            manager(0.95).adapt(&stats, &profiler, &mut monitor_surplus, ts(20_000));
+        let with_surplus = manager(0.95).adapt(&stats, &profiler, &mut monitor_surplus, ts(20_000));
 
         // Case B: history under-achieved.
         let mut monitor_deficit = ResultSizeMonitor::new(59_000);
         monitor_deficit.record_true_estimate(ts(19_000), 1_000);
         monitor_deficit.record_produced(ts(19_000), 500);
-        let with_deficit =
-            manager(0.95).adapt(&stats, &profiler, &mut monitor_deficit, ts(20_000));
+        let with_deficit = manager(0.95).adapt(&stats, &profiler, &mut monitor_deficit, ts(20_000));
 
         assert!(with_surplus.gamma_prime < with_deficit.gamma_prime);
         assert!(with_surplus.k <= with_deficit.k);

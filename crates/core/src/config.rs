@@ -180,7 +180,10 @@ mod tests {
             .interval(1_000)
             .validate()
             .is_err());
-        assert!(DisorderConfig::default().basic_window(0).validate().is_err());
+        assert!(DisorderConfig::default()
+            .basic_window(0)
+            .validate()
+            .is_err());
         assert!(DisorderConfig::default().granularity(0).validate().is_err());
     }
 
@@ -188,6 +191,9 @@ mod tests {
     fn strategy_display() {
         assert_eq!(SelectivityStrategy::EqSel.to_string(), "EqSel");
         assert_eq!(SelectivityStrategy::NonEqSel.to_string(), "NonEqSel");
-        assert_eq!(SelectivityStrategy::default(), SelectivityStrategy::NonEqSel);
+        assert_eq!(
+            SelectivityStrategy::default(),
+            SelectivityStrategy::NonEqSel
+        );
     }
 }

@@ -178,7 +178,11 @@ mod tests {
     fn push_all(ks: &mut KSlack, timestamps: &[u64]) -> Vec<u64> {
         let mut out = Vec::new();
         for (seq, &ts) in timestamps.iter().enumerate() {
-            out.extend(ks.push(t(seq as u64, ts)).into_iter().map(|t| t.ts.as_millis()));
+            out.extend(
+                ks.push(t(seq as u64, ts))
+                    .into_iter()
+                    .map(|t| t.ts.as_millis()),
+            );
         }
         out
     }

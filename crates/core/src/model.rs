@@ -160,11 +160,11 @@ impl RecallModel {
         for i in 0..m {
             let mut prod_eff = 1.0;
             let mut prod_w = 1.0;
-            for j in 0..m {
+            for (j, eff_j) in eff.iter().enumerate() {
                 if j == i {
                     continue;
                 }
-                prod_eff *= eff[j];
+                prod_eff *= eff_j;
                 prod_w *= self.inputs.windows[j] as f64;
             }
             numerator += self.in_order_probability(i, k) * prod_eff;
@@ -237,7 +237,10 @@ mod tests {
         let mut last = -1.0;
         for k in (0..=1_200).step_by(100) {
             let r = m.structural_recall(k);
-            assert!(r >= last - 1e-12, "recall not monotone at K={k}: {r} < {last}");
+            assert!(
+                r >= last - 1e-12,
+                "recall not monotone at K={k}: {r} < {last}"
+            );
             assert!((0.0..=1.0).contains(&r));
             last = r;
         }
@@ -272,7 +275,9 @@ mod tests {
 
     #[test]
     fn bigger_basic_window_is_more_conservative() {
-        let delays: Vec<Duration> = (0..1_000).map(|i| if i % 4 == 0 { 200 } else { 0 }).collect();
+        let delays: Vec<Duration> = (0..1_000)
+            .map(|i| if i % 4 == 0 { 200 } else { 0 })
+            .collect();
         let fine = RecallModel::new(inputs(
             vec![5_000, 5_000],
             vec![delays.clone(), delays.clone()],

@@ -153,9 +153,7 @@ impl Pipeline {
             _ => 0,
         };
         let manager = match &policy {
-            BufferPolicy::QualityDriven(c) => {
-                Some(BufferSizeManager::new(*c, query.windows()))
-            }
+            BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
         let operator = if enumerate {
@@ -169,7 +167,9 @@ impl Pipeline {
             operator,
             stats: StatisticsManager::new(m, config.granularity_g),
             profiler: ProductivityProfiler::new(config.granularity_g),
-            monitor: ResultSizeMonitor::new(config.period_p.saturating_sub(config.interval_l).max(1)),
+            monitor: ResultSizeMonitor::new(
+                config.period_p.saturating_sub(config.interval_l).max(1),
+            ),
             manager,
             pd_state: PdState::default(),
             interval_l: config.interval_l,
@@ -442,7 +442,11 @@ mod tests {
         let mut events = Vec::new();
         for i in 1..=n {
             let t = i * 10;
-            let ts0 = if i % 4 == 0 { t.saturating_sub(delay) } else { t };
+            let ts0 = if i % 4 == 0 {
+                t.saturating_sub(delay)
+            } else {
+                t
+            };
             events.push(ev(0, i, ts0, t, 1));
             events.push(ev(1, i, t, t, 1));
         }
@@ -455,7 +459,9 @@ mod tests {
             BufferPolicy::NoKSlack,
             BufferPolicy::MaxKSlack,
             BufferPolicy::FixedK(100),
-            BufferPolicy::QualityDriven(DisorderConfig::with_gamma(0.9).period(2_000).interval(500)),
+            BufferPolicy::QualityDriven(
+                DisorderConfig::with_gamma(0.9).period(2_000).interval(500),
+            ),
         ] {
             let mut p = Pipeline::new(query(2, 500), policy).unwrap();
             for e in workload(500, 0) {

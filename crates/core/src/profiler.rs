@@ -140,7 +140,11 @@ impl ProductivityProfiler {
     pub fn record_unprocessed(&mut self, delay: Duration) {
         let bucket = self.bucket_of(delay);
         let est_join = self.last.max_join.max(self.current.max_join);
-        let est_cross = self.last.max_cross.max(self.current.max_cross).max(est_join);
+        let est_cross = self
+            .last
+            .max_cross
+            .max(self.current.max_cross)
+            .max(est_join);
         self.current.add(bucket, est_cross, est_join);
         self.current.estimated += 1;
     }

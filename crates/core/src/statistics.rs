@@ -86,10 +86,7 @@ impl DelayHistogram {
 
     /// Largest non-empty bucket index.
     pub fn max_bucket(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Probability `Pr[D_i = d]` of coarse bucket `d` (the empirical pdf).
@@ -154,7 +151,7 @@ impl StreamHistory {
             self.max_delay = sample.delay;
         }
         // Trim the history to the ADWIN window length (and the hard cap).
-        let target = (self.adwin.len() as usize).min(MAX_HISTORY).max(1);
+        let target = (self.adwin.len() as usize).clamp(1, MAX_HISTORY);
         while self.samples.len() > target {
             let old = self.samples.pop_front().expect("len checked");
             self.delay_sum -= old.delay as u128;
@@ -244,7 +241,9 @@ impl StatisticsManager {
         if !min.is_finite() {
             return vec![0; self.arity()];
         }
-        avgs.iter().map(|&a| (a - min).round() as Duration).collect()
+        avgs.iter()
+            .map(|&a| (a - min).round() as Duration)
+            .collect()
     }
 
     /// Estimated data rate `r_i` of stream `i` in tuples per millisecond.
@@ -255,7 +254,11 @@ impl StatisticsManager {
     /// Current maximum tuple delay (`MaxDH`) within the monitored histories
     /// of all streams.
     pub fn max_delay(&self) -> Duration {
-        self.histories.iter().map(|h| h.max_delay).max().unwrap_or(0)
+        self.histories
+            .iter()
+            .map(|h| h.max_delay)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Length of the history window currently kept for stream `i`.

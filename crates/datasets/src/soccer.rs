@@ -282,7 +282,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = SoccerConfig::default().duration_secs(5).sample_interval(100);
+        let cfg = SoccerConfig::default()
+            .duration_secs(5)
+            .sample_interval(100);
         let a = SoccerDataset::generate(&cfg, 3);
         let b = SoccerDataset::generate(&cfg, 3);
         assert_eq!(a.log, b.log);

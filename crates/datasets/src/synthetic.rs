@@ -128,7 +128,8 @@ impl SyntheticDataset {
         let delay_ranks = (config.max_delay_ms / config.delay_step_ms.max(1)) as usize + 1;
         let mut interleaver = Interleaver::new();
         for stream in 0..config.streams {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64 ^ (stream as u64) << 32));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64 ^ (stream as u64) << 32));
             let delay_zipf = Zipf::new(delay_ranks, config.delay_skews[stream]);
             let mut value_zipf = Zipf::new(config.value_domain, 1.0);
             let mut next_skew_change: u64 = sample_change_interval(&mut rng, config);
@@ -146,12 +147,7 @@ impl SyntheticDataset {
                 let delay = (delay_zipf.sample(&mut rng) as u64 - 1) * config.delay_step_ms;
                 let ts = gen_clock.saturating_sub(delay);
                 let values = attribute_values(config.streams, stream, &value_zipf, &mut rng);
-                let tuple = Tuple::new(
-                    stream.into(),
-                    seq,
-                    Timestamp::from_millis(ts),
-                    values,
-                );
+                let tuple = Tuple::new(stream.into(), seq, Timestamp::from_millis(ts), values);
                 events.push(ArrivalEvent::new(Timestamp::from_millis(gen_clock), tuple));
                 seq += 1;
             }
@@ -255,7 +251,9 @@ mod tests {
 
     #[test]
     fn delays_respect_the_configured_bound() {
-        let cfg = SyntheticConfig::three_way().duration_secs(5).max_delay(2_000);
+        let cfg = SyntheticConfig::three_way()
+            .duration_secs(5)
+            .max_delay(2_000);
         let d = SyntheticDataset::generate(&cfg, 5);
         for e in d.log.iter() {
             let delay = e.arrival - e.ts();

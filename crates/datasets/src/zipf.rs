@@ -24,7 +24,10 @@ impl Zipf {
     /// Panics if `n == 0` or `skew` is negative or not finite.
     pub fn new(n: usize, skew: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!(skew >= 0.0 && skew.is_finite(), "skew must be finite and >= 0");
+        assert!(
+            skew >= 0.0 && skew.is_finite(),
+            "skew must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {

@@ -20,7 +20,9 @@ fn main() {
         for &p_secs in &PERIOD_SWEEP_SECS {
             // Periods longer than the (scaled-down) run would make every
             // measurement fall into the excluded warm-up; clamp them.
-            let p_ms = (p_secs * 1_000).min(scale.duration_secs * 1_000 / 2).max(2_000);
+            let p_ms = (p_secs * 1_000)
+                .min(scale.duration_secs * 1_000 / 2)
+                .max(2_000);
             for gamma in [0.95, 0.99] {
                 let config = paper_default_config(gamma).period(p_ms);
                 let eval = run_policy_with_truth(

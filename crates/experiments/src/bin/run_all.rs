@@ -20,7 +20,15 @@ fn main() {
         let status = match binary {
             Some(path) => Command::new(path).args(&args).status(),
             None => Command::new("cargo")
-                .args(["run", "--release", "-p", "mswj-experiments", "--bin", name, "--"])
+                .args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "mswj-experiments",
+                    "--bin",
+                    name,
+                    "--",
+                ])
                 .args(&args)
                 .status(),
         };

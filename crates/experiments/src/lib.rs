@@ -54,10 +54,33 @@ impl Scale {
     }
 
     /// Parses `--duration-secs N`, `--seed N` and `--quick` from the
-    /// process arguments; unknown arguments are ignored.
+    /// process arguments; unknown arguments are ignored. `--help`/`-h`
+    /// prints the shared usage text and exits, so every experiment binary
+    /// has a cheap smoke path that never touches a workload.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", Self::usage());
+            std::process::exit(0);
+        }
         Self::from_arg_slice(&args)
+    }
+
+    /// The usage text shared by every experiment binary.
+    pub fn usage() -> String {
+        let d = Scale::default();
+        format!(
+            "Regenerates one table/figure of the ICDE'16 evaluation.\n\
+             \n\
+             Options:\n\
+             \x20   --duration-secs N  simulated seconds per dataset (default {})\n\
+             \x20   --seed N           workload generator seed (default {})\n\
+             \x20   --quick            fast smoke-test scale ({} s)\n\
+             \x20   -h, --help         print this help and exit",
+            d.duration_secs,
+            d.seed,
+            Scale::quick().duration_secs
+        )
     }
 
     /// Parses the same flags from an explicit argument slice (testable).
@@ -178,6 +201,14 @@ pub const GRANULARITY_SWEEP_MS: [u64; 4] = [1, 10, 100, 1_000];
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let usage = Scale::usage();
+        for flag in ["--duration-secs", "--seed", "--quick", "--help"] {
+            assert!(usage.contains(flag), "usage text misses {flag}");
+        }
+    }
 
     #[test]
     fn scale_parsing() {

@@ -160,11 +160,7 @@ impl StarEquiJoin {
     ///
     /// `pairs[j]` (for every non-anchor stream `j`, in ascending stream
     /// order, skipping the anchor) gives `(anchor_attribute, other_attribute)`.
-    pub fn new(
-        streams: &StreamSet,
-        anchor: usize,
-        pairs: &[(usize, &str, &str)],
-    ) -> Result<Self> {
+    pub fn new(streams: &StreamSet, anchor: usize, pairs: &[(usize, &str, &str)]) -> Result<Self> {
         let m = streams.arity();
         if anchor >= m {
             return Err(Error::UnknownStream {
@@ -255,12 +251,7 @@ pub struct DistanceWithin {
 
 impl DistanceWithin {
     /// Resolves coordinate attribute names in both schemas.
-    pub fn new(
-        streams: &StreamSet,
-        x_attr: &str,
-        y_attr: &str,
-        threshold: f64,
-    ) -> Result<Self> {
+    pub fn new(streams: &StreamSet, x_attr: &str, y_attr: &str, threshold: f64) -> Result<Self> {
         if streams.arity() != 2 {
             return Err(Error::InvalidConfig(format!(
                 "DistanceWithin is a binary predicate, query has {} streams",
@@ -351,20 +342,21 @@ impl JoinCondition for BandJoin {
             None => return false,
         };
         // Every stream must lie within the band of the first one.
-        tuples
-            .iter()
-            .zip(&self.columns)
-            .skip(1)
-            .all(|(t, &c)| match t.value(c).and_then(Value::as_float) {
+        tuples.iter().zip(&self.columns).skip(1).all(|(t, &c)| {
+            match t.value(c).and_then(Value::as_float) {
                 Some(v) => (v - first).abs() <= self.band,
                 None => false,
-            })
+            }
+        })
     }
 
     fn describe(&self) -> String {
         format!("band join (width {})", self.band)
     }
 }
+
+/// The boxed m-ary predicate closure wrapped by [`PredicateFn`].
+pub type PredicateClosure = Arc<dyn Fn(&[&Tuple]) -> bool + Send + Sync>;
 
 /// A user-defined m-ary predicate backed by a closure.
 ///
@@ -374,7 +366,7 @@ impl JoinCondition for BandJoin {
 pub struct PredicateFn {
     arity: usize,
     name: String,
-    f: Arc<dyn Fn(&[&Tuple]) -> bool + Send + Sync>,
+    f: PredicateClosure,
 }
 
 impl PredicateFn {
@@ -545,7 +537,10 @@ mod tests {
 
     #[test]
     fn distance_within_requires_two_streams() {
-        let schema = Schema::new(vec![("xCoord", FieldType::Float), ("yCoord", FieldType::Float)]);
+        let schema = Schema::new(vec![
+            ("xCoord", FieldType::Float),
+            ("yCoord", FieldType::Float),
+        ]);
         let streams = StreamSet::homogeneous(3, schema, 5_000).unwrap();
         assert!(DistanceWithin::new(&streams, "xCoord", "yCoord", 5.0).is_err());
     }

@@ -113,9 +113,7 @@ impl MswjOperator {
             let indexed = match &equi {
                 Some(EquiStructure::CommonKey { columns }) => vec![columns[i]],
                 Some(EquiStructure::Star {
-                    anchor,
-                    other_cols,
-                    ..
+                    anchor, other_cols, ..
                 }) if i != *anchor => vec![other_cols[i]],
                 _ => vec![],
             };
@@ -470,7 +468,7 @@ mod tests {
         let mut op = MswjOperator::new(query);
         op.push(tup(0, 0, 100, 7));
         op.push(tup(1, 0, 500, 7)); // joins -> 1 result
-        // Late S2 tuple (ts 200 < onT 500) is inserted silently.
+                                    // Late S2 tuple (ts 200 < onT 500) is inserted silently.
         let late = op.push(tup(1, 1, 200, 7));
         assert!(!late.in_order);
         assert_eq!(late.n_join, 0);
@@ -567,11 +565,11 @@ mod tests {
             sat(1, 0, 0, 1),
             sat(2, 0, 1, 2),
             sat(3, 0, 2, 3),
-            anchor(0, 3, 1, 2, 3),  // matches all satellites -> 1 result
-            sat(1, 1, 4, 1),        // satellite probing anchor -> 1 result
-            anchor(1, 5, 1, 2, 9),  // a3 mismatch -> 0
-            sat(3, 1, 6, 9),        // matches second anchor only -> 2 (two S2 with a1=1)
-            sat(2, 1, 7, 2),        // probes both anchors
+            anchor(0, 3, 1, 2, 3), // matches all satellites -> 1 result
+            sat(1, 1, 4, 1),       // satellite probing anchor -> 1 result
+            anchor(1, 5, 1, 2, 9), // a3 mismatch -> 0
+            sat(3, 1, 6, 9),       // matches second anchor only -> 2 (two S2 with a1=1)
+            sat(2, 1, 7, 2),       // probes both anchors
         ];
         for t in script {
             let a = counting.push(t.clone());

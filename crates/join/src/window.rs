@@ -181,11 +181,7 @@ impl Window {
     }
 
     /// Iterates over live tuples whose column `col` equals `key`.
-    pub fn matching<'a>(
-        &'a self,
-        col: usize,
-        key: i64,
-    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+    pub fn matching<'a>(&'a self, col: usize, key: i64) -> impl Iterator<Item = &'a Tuple> + 'a {
         self.tuples
             .iter()
             .filter(move |t| t.value(col).and_then(int_key) == Some(key))

@@ -134,7 +134,12 @@ mod tests {
                 Tuple::new(stream.into(), seq, ts(t), vec![Value::Int(1)]),
             )
         };
-        let log = ArrivalLog::from_events(vec![mk(1, 1, 200), mk(0, 0, 10), mk(1, 0, 40), mk(0, 1, 50)]);
+        let log = ArrivalLog::from_events(vec![
+            mk(1, 1, 200),
+            mk(0, 0, 10),
+            mk(1, 0, 40),
+            mk(0, 1, 50),
+        ]);
         let truth = ground_truth_counts(&query, &log);
         // Sorted order: 10(S1), 40(S2) joins 10 -> 1, 50(S1) joins 40 -> 1,
         // 200(S2) joins nothing (10 and 50 expired).

@@ -96,7 +96,9 @@ mod tests {
 
     #[test]
     fn row_builder_accumulates_cells() {
-        let row = TableRow::new("Dx3syn").cell("avg K (s)", 1.5).cell("phi", 97.0);
+        let row = TableRow::new("Dx3syn")
+            .cell("avg K (s)", 1.5)
+            .cell("phi", 97.0);
         assert_eq!(row.label, "Dx3syn");
         assert_eq!(row.cells.len(), 2);
         assert_eq!(row.cells[0].0, "avg K (s)");
@@ -105,8 +107,12 @@ mod tests {
     #[test]
     fn table_formatting_is_aligned_and_complete() {
         let rows = vec![
-            TableRow::new("Gamma=0.9").cell("avg K (s)", 0.25).cell("Phi(G) %", 100.0),
-            TableRow::new("Gamma=0.999").cell("avg K (s)", 12.0).cell("Phi(G) %", 96.5),
+            TableRow::new("Gamma=0.9")
+                .cell("avg K (s)", 0.25)
+                .cell("Phi(G) %", 100.0),
+            TableRow::new("Gamma=0.999")
+                .cell("avg K (s)", 12.0)
+                .cell("Phi(G) %", 96.5),
         ];
         let text = format_table("Fig. 7 — effectiveness", &rows);
         assert!(text.contains("Fig. 7"));

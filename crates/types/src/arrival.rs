@@ -97,11 +97,6 @@ impl ArrivalLog {
         self.events.iter()
     }
 
-    /// Consumes the log, yielding owned events in arrival order.
-    pub fn into_iter(self) -> impl Iterator<Item = ArrivalEvent> {
-        self.events.into_iter()
-    }
-
     /// The events as a slice.
     pub fn events(&self) -> &[ArrivalEvent] {
         &self.events
@@ -227,10 +222,7 @@ impl Interleaver {
         }
         let total: usize = self.per_stream.iter().map(Vec::len).sum();
         let mut merged = Vec::with_capacity(total);
-        while let Some(HeapEntry {
-            stream, pos, ..
-        }) = heap.pop()
-        {
+        while let Some(HeapEntry { stream, pos, .. }) = heap.pop() {
             merged.push(self.per_stream[stream][pos].clone());
             let next = pos + 1;
             if let Some(ev) = self.per_stream[stream].get(next) {

@@ -181,7 +181,10 @@ mod tests {
         assert!(set.spec(StreamIndex(0)).is_ok());
         assert!(matches!(
             set.spec(StreamIndex(2)),
-            Err(Error::UnknownStream { index: 2, streams: 2 })
+            Err(Error::UnknownStream {
+                index: 2,
+                streams: 2
+            })
         ));
         assert!(set.window(StreamIndex(5)).is_err());
     }

@@ -161,7 +161,9 @@ impl FieldType {
     /// `Null` is accepted by every field, and integers may be widened into
     /// float fields; everything else must match exactly.
     pub fn accepts(self, other: FieldType) -> bool {
-        self == other || other == FieldType::Null || (self == FieldType::Float && other == FieldType::Int)
+        self == other
+            || other == FieldType::Null
+            || (self == FieldType::Float && other == FieldType::Int)
     }
 }
 
@@ -322,16 +324,17 @@ mod tests {
     #[test]
     fn schema_validation() {
         let schema = Schema::new(vec![("a1", FieldType::Int), ("x", FieldType::Float)]);
-        assert!(schema
-            .validate(&[Value::Int(1), Value::Float(0.5)])
-            .is_ok());
+        assert!(schema.validate(&[Value::Int(1), Value::Float(0.5)]).is_ok());
         // Int is accepted where Float is declared.
         assert!(schema.validate(&[Value::Int(1), Value::Int(2)]).is_ok());
         // Null accepted anywhere.
         assert!(schema.validate(&[Value::Null, Value::Null]).is_ok());
         assert!(matches!(
             schema.validate(&[Value::Int(1)]),
-            Err(Error::ArityMismatch { expected: 2, got: 1 })
+            Err(Error::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             schema.validate(&[Value::Float(1.0), Value::Float(2.0)]),

@@ -9,12 +9,8 @@ use mswj::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let streams = StreamSet::homogeneous(
-        2,
-        Schema::new(vec![("reading", FieldType::Int)]),
-        2_000,
-    )
-    .unwrap();
+    let streams =
+        StreamSet::homogeneous(2, Schema::new(vec![("reading", FieldType::Int)]), 2_000).unwrap();
 
     // A join condition no input-synopsis-based estimator could handle: the
     // profiler of the quality-driven framework learns its selectivity from
@@ -40,16 +36,29 @@ fn main() {
         let ts0 = if i % 7 == 0 { t.saturating_sub(300) } else { t };
         produced.extend(pipeline.push(ArrivalEvent::new(
             Timestamp::from_millis(t),
-            Tuple::new(0.into(), i, Timestamp::from_millis(ts0), vec![Value::Int((i % 17) as i64)]),
+            Tuple::new(
+                0.into(),
+                i,
+                Timestamp::from_millis(ts0),
+                vec![Value::Int((i % 17) as i64)],
+            ),
         )));
         produced.extend(pipeline.push(ArrivalEvent::new(
             Timestamp::from_millis(t),
-            Tuple::new(1.into(), i, Timestamp::from_millis(t), vec![Value::Int((i % 11) as i64)]),
+            Tuple::new(
+                1.into(),
+                i,
+                Timestamp::from_millis(t),
+                vec![Value::Int((i % 11) as i64)],
+            ),
         )));
     }
     let report = pipeline.finish();
 
-    println!("materialized {} UDF-join results; a few of them:", produced.len());
+    println!(
+        "materialized {} UDF-join results; a few of them:",
+        produced.len()
+    );
     for r in produced.iter().take(5) {
         println!("  {r}");
     }

@@ -15,11 +15,21 @@ fn workload() -> Vec<ArrivalEvent> {
         let ts0 = if i % 5 == 0 { t.saturating_sub(400) } else { t };
         events.push(ArrivalEvent::new(
             Timestamp::from_millis(t),
-            Tuple::new(0.into(), i, Timestamp::from_millis(ts0), vec![Value::Int((i % 10) as i64)]),
+            Tuple::new(
+                0.into(),
+                i,
+                Timestamp::from_millis(ts0),
+                vec![Value::Int((i % 10) as i64)],
+            ),
         ));
         events.push(ArrivalEvent::new(
             Timestamp::from_millis(t),
-            Tuple::new(1.into(), i, Timestamp::from_millis(t), vec![Value::Int((i % 10) as i64)]),
+            Tuple::new(
+                1.into(),
+                i,
+                Timestamp::from_millis(t),
+                vec![Value::Int((i % 10) as i64)],
+            ),
         ));
     }
     events
@@ -54,7 +64,9 @@ fn main() {
         no_handling.avg_k_ms
     );
 
-    let config = DisorderConfig::with_gamma(0.95).period(5_000).interval(1_000);
+    let config = DisorderConfig::with_gamma(0.95)
+        .period(5_000)
+        .interval(1_000);
     let quality = run(BufferPolicy::QualityDriven(config));
     println!(
         "Quality-driven : produced {:>6} results ({:.1}% of the truth), avg K = {:.0} ms",

@@ -20,7 +20,9 @@ fn main() {
     println!("true proximity events (dist < 5 m): {}", truth.total());
 
     for gamma in [0.9, 0.99] {
-        let cfg = DisorderConfig::with_gamma(gamma).period(30_000).interval(1_000);
+        let cfg = DisorderConfig::with_gamma(gamma)
+            .period(30_000)
+            .interval(1_000);
         let mut pipeline =
             Pipeline::new(dataset.query.clone(), BufferPolicy::QualityDriven(cfg)).unwrap();
         for event in dataset.log.iter() {

@@ -52,9 +52,10 @@ pub use mswj_types as types;
 
 /// Convenient glob-import of the most frequently used items.
 pub mod prelude {
+    pub use mswj_adwin::Adwin;
     pub use mswj_core::{
-        BufferPolicy, Checkpoint, DisorderConfig, KSlack, Pipeline, RunReport,
-        SelectivityStrategy, Synchronizer,
+        BufferPolicy, Checkpoint, DisorderConfig, KSlack, Pipeline, RunReport, SelectivityStrategy,
+        Synchronizer,
     };
     pub use mswj_datasets::{
         q2_query, q3_query, q4_query, Dataset, SoccerConfig, SoccerDataset, SyntheticConfig,
@@ -66,8 +67,8 @@ pub mod prelude {
     };
     pub use mswj_metrics::{evaluate_recall, ground_truth_counts, CountSeries, RecallEvaluation};
     pub use mswj_types::{
-        ArrivalEvent, ArrivalLog, Duration, FieldType, Interleaver, Schema, StreamIndex,
-        StreamSet, StreamSpec, Timestamp, Tuple, TupleBuilder, Value,
+        ArrivalEvent, ArrivalLog, Duration, FieldType, Interleaver, Schema, StreamIndex, StreamSet,
+        StreamSpec, Timestamp, Tuple, TupleBuilder, Value,
     };
 }
 

@@ -28,7 +28,9 @@ fn d2(duration_secs: u64, seed: u64) -> Dataset {
 fn complete_disorder_handling_reproduces_ground_truth() {
     // A fixed K larger than the maximum possible delay sorts every stream
     // perfectly, so the pipeline must produce exactly the true result count.
-    let cfg = SyntheticConfig::three_way().duration_secs(30).max_delay(2_000);
+    let cfg = SyntheticConfig::three_way()
+        .duration_secs(30)
+        .max_delay(2_000);
     let dataset = SyntheticDataset::generate(&cfg, 17).into_dataset();
     let truth = ground_truth_counts(&dataset.query, &dataset.log);
     let report = run(&dataset, BufferPolicy::FixedK(2_500));
@@ -121,7 +123,9 @@ fn four_way_star_join_end_to_end() {
 
 #[test]
 fn enumerating_and_counting_pipelines_agree() {
-    let cfg = SyntheticConfig::three_way().duration_secs(10).max_delay(1_000);
+    let cfg = SyntheticConfig::three_way()
+        .duration_secs(10)
+        .max_delay(1_000);
     let dataset = SyntheticDataset::generate(&cfg, 23).into_dataset();
     let counting = run(&dataset, BufferPolicy::MaxKSlack);
 

@@ -13,7 +13,11 @@ fn query(window: u64) -> JoinQuery {
 
 /// Strategy producing an arrival sequence for one stream: increasing
 /// generation instants with bounded random delays.
-fn stream_events(stream: usize, len: usize, max_delay: u64) -> impl Strategy<Value = Vec<ArrivalEvent>> {
+fn stream_events(
+    stream: usize,
+    len: usize,
+    max_delay: u64,
+) -> impl Strategy<Value = Vec<ArrivalEvent>> {
     proptest::collection::vec((0u64..=max_delay, 1i64..=8), len).prop_map(move |items| {
         items
             .into_iter()

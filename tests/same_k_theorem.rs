@@ -17,14 +17,28 @@ fn workload(n: u64) -> Vec<ArrivalEvent> {
     for i in 1..=n {
         let t = i * 10;
         let ts0 = if i % 7 == 0 { t.saturating_sub(160) } else { t };
-        let ts1 = if i % 11 == 0 { t.saturating_sub(320) } else { t };
+        let ts1 = if i % 11 == 0 {
+            t.saturating_sub(320)
+        } else {
+            t
+        };
         events.push(ArrivalEvent::new(
             Timestamp::from_millis(t),
-            Tuple::new(0.into(), i, Timestamp::from_millis(ts0), vec![Value::Int((i % 5) as i64)]),
+            Tuple::new(
+                0.into(),
+                i,
+                Timestamp::from_millis(ts0),
+                vec![Value::Int((i % 5) as i64)],
+            ),
         ));
         events.push(ArrivalEvent::new(
             Timestamp::from_millis(t),
-            Tuple::new(1.into(), i, Timestamp::from_millis(ts1), vec![Value::Int((i % 5) as i64)]),
+            Tuple::new(
+                1.into(),
+                i,
+                Timestamp::from_millis(ts1),
+                vec![Value::Int((i % 5) as i64)],
+            ),
         ));
     }
     events
@@ -41,10 +55,7 @@ fn query() -> JoinQuery {
 /// operator) with explicit per-stream buffer sizes and returns the total
 /// number of produced results.
 fn run_with_buffers(k0: u64, k1: u64, events: &[ArrivalEvent]) -> u64 {
-    let mut ks = vec![
-        mswj::core::KSlack::new(k0),
-        mswj::core::KSlack::new(k1),
-    ];
+    let mut ks = vec![mswj::core::KSlack::new(k0), mswj::core::KSlack::new(k1)];
     let mut sync = mswj::core::Synchronizer::new(2);
     let mut op = MswjOperator::new(query());
     let feed = |tuples: Vec<Tuple>, sync: &mut mswj::core::Synchronizer, op: &mut MswjOperator| {
@@ -128,7 +139,7 @@ fn skew_between_kslack_outputs_equals_raw_skew() {
     // K-slack output streams equals the skew between the raw inputs.
     let events = workload(500);
     for k in [0u64, 150, 500] {
-        let mut ks = vec![mswj::core::KSlack::new(k), mswj::core::KSlack::new(k)];
+        let mut ks = [mswj::core::KSlack::new(k), mswj::core::KSlack::new(k)];
         let mut raw = mswj_types::SkewTracker::new(2);
         for event in &events {
             raw.observe(event.stream(), event.ts());

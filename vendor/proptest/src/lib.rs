@@ -1,0 +1,302 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The crates.io registry is unreachable in this build environment, so the
+//! workspace vendors this minimal substitute. It keeps `proptest!` test
+//! modules compiling and meaningfully running: strategies generate random
+//! inputs from a deterministic per-case RNG and every test body runs for the
+//! configured number of cases. What is missing compared to the real crate is
+//! shrinking (failing inputs are reported as-is, not minimized) and the
+//! persistence of failure seeds. The supported strategy surface is integer
+//! ranges, tuples of strategies, `prop_map` and `collection::vec`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-time configuration of a `proptest!` block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases every test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies; deterministic per (test, case) pair.
+pub type TestRng = StdRng;
+
+/// Builds the RNG for one test case. Deterministic so failures reproduce.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u64, usize, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Constant-value strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Anything usable as the size argument of [`vec`]: a fixed length or a
+    /// half-open range of lengths.
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy generating vectors of `element` with a length drawn from
+    /// `size`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test (plain `assert!` here; the
+/// real crate additionally reports the failing inputs for shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`: each function
+/// body runs [`ProptestConfig::cases`] times with inputs freshly generated
+/// from its argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategies = ( $($strategy,)* );
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    let ($($arg,)*) = {
+                        let ($(ref $arg,)*) = strategies;
+                        ($($crate::Strategy::generate($arg, &mut rng),)*)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::case_rng("ranges", 0);
+        for _ in 0..200 {
+            let v = (1u64..10).generate(&mut rng);
+            assert!((1..10).contains(&v));
+            let w = (3i64..=5).generate(&mut rng);
+            assert!((3..=5).contains(&w));
+            let doubled = (1u64..10).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(doubled % 2 == 0 && doubled < 20);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::case_rng("vec", 0);
+        let fixed = crate::collection::vec(0u64..5, 7usize).generate(&mut rng);
+        assert_eq!(fixed.len(), 7);
+        for _ in 0..100 {
+            let ranged = crate::collection::vec((0u64..5, 1i64..=2), 1..4).generate(&mut rng);
+            assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic_and_test_specific() {
+        use rand::RngCore;
+        assert_eq!(
+            crate::case_rng("t", 3).next_u64(),
+            crate::case_rng("t", 3).next_u64()
+        );
+        assert_ne!(
+            crate::case_rng("t", 3).next_u64(),
+            crate::case_rng("u", 3).next_u64()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_inputs(xs in crate::collection::vec(0u64..100, 1..10), k in 1u64..=4) {
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!((1..=4).contains(&k));
+            prop_assert_eq!(k, k);
+            prop_assert_ne!(k, 0);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The crates.io registry is unreachable in this build environment, so the
+//! workspace vendors this minimal substitute: [`Serialize`] and
+//! [`Deserialize`] are marker traits with blanket implementations, and the
+//! same-named derive macros (re-exported from the sibling `serde_derive`
+//! stub) accept the usual derive syntax — including `#[serde(...)]` helper
+//! attributes — and expand to nothing.
+//!
+//! This keeps every `#[derive(Serialize, Deserialize)]` annotation in the
+//! codebase compiling exactly as written, so switching to the real `serde`
+//! is a one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types. The lifetime parameter mirrors the real trait so bounds like
+/// `for<'de> T: Deserialize<'de>` keep compiling.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
