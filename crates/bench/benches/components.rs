@@ -2,10 +2,12 @@
 //! analytical recall model.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mswj_core::{DelayHistogram, KSlack, ModelInputs, RecallModel, Synchronizer};
+use mswj_core::{
+    CountingSink, DelayHistogram, KSlack, ModelInputs, Pipeline, RecallModel, Synchronizer,
+};
 use mswj_datasets::q3_query;
 use mswj_join::MswjOperator;
-use mswj_types::{Timestamp, Tuple, Value};
+use mswj_types::{ArrivalEvent, Timestamp, Tuple, Value};
 
 fn kslack_throughput(c: &mut Criterion) {
     c.bench_function("kslack_push_1k", |b| {
@@ -59,6 +61,42 @@ fn operator_throughput(c: &mut Criterion) {
     });
 }
 
+fn pipeline_push_into_throughput(c: &mut Criterion) {
+    // The end-to-end counting hot path: builder-assembled session, events
+    // streamed through `push_into` with a zero-allocation sink.
+    let events: Vec<ArrivalEvent> = (0..1_000u64)
+        .map(|i| {
+            let stream = (i % 3) as usize;
+            let arrival = Timestamp::from_millis(i * 10);
+            let ts = if i % 5 == 0 {
+                Timestamp::from_millis((i * 10).saturating_sub(300))
+            } else {
+                arrival
+            };
+            ArrivalEvent::new(
+                arrival,
+                Tuple::new(stream.into(), i, ts, vec![Value::Int((i % 50) as i64)]),
+            )
+        })
+        .collect();
+    c.bench_function("pipeline_push_into_1k", |b| {
+        b.iter(|| {
+            let mut pipeline = Pipeline::builder()
+                .query(q3_query(5_000))
+                .quality_driven(0.95)
+                .period(5_000)
+                .interval(1_000)
+                .build()
+                .unwrap();
+            let mut sink = CountingSink::default();
+            for e in &events {
+                pipeline.push_into(e.clone(), &mut sink);
+            }
+            black_box(pipeline.finish().total_produced)
+        })
+    });
+}
+
 fn model_evaluation(c: &mut Criterion) {
     let delays: Vec<u64> = (0..5_000)
         .map(|i| if i % 4 == 0 { (i % 200) * 10 } else { 0 })
@@ -87,6 +125,6 @@ fn model_evaluation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = kslack_throughput, synchronizer_throughput, operator_throughput, model_evaluation
+    targets = kslack_throughput, synchronizer_throughput, operator_throughput, pipeline_push_into_throughput, model_evaluation
 }
 criterion_main!(benches);

@@ -170,21 +170,48 @@ mod tests {
         assert!(c.validate().is_ok());
     }
 
+    #[track_caller]
+    fn assert_invalid(result: Result<()>, needle: &str) {
+        match result {
+            Err(Error::InvalidConfig(msg)) => {
+                assert!(msg.contains(needle), "message `{msg}` misses `{needle}`")
+            }
+            other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+        }
+    }
+
     #[test]
-    fn validation_rejects_bad_parameters() {
-        assert!(DisorderConfig::with_gamma(0.0).validate().is_err());
-        assert!(DisorderConfig::with_gamma(1.5).validate().is_err());
-        assert!(DisorderConfig::default().interval(0).validate().is_err());
+    fn validation_rejects_bad_parameters_with_specific_errors() {
+        assert_invalid(DisorderConfig::with_gamma(0.0).validate(), "Γ");
+        assert_invalid(DisorderConfig::with_gamma(-0.1).validate(), "Γ");
+        assert_invalid(DisorderConfig::with_gamma(1.5).validate(), "got 1.5");
+        assert_invalid(DisorderConfig::with_gamma(f64::NAN).validate(), "Γ");
+        assert_invalid(
+            DisorderConfig::default().interval(0).validate(),
+            "adaptation interval L must be positive",
+        );
+        assert_invalid(
+            DisorderConfig::default()
+                .period(500)
+                .interval(1_000)
+                .validate(),
+            "must not exceed the measurement period",
+        );
+        assert_invalid(
+            DisorderConfig::default().basic_window(0).validate(),
+            "basic window size b must be positive",
+        );
+        assert_invalid(
+            DisorderConfig::default().granularity(0).validate(),
+            "granularity g must be positive",
+        );
+        // Boundary values are accepted: Γ = 1 and L = P are legal.
+        assert!(DisorderConfig::with_gamma(1.0).validate().is_ok());
         assert!(DisorderConfig::default()
-            .period(500)
+            .period(1_000)
             .interval(1_000)
             .validate()
-            .is_err());
-        assert!(DisorderConfig::default()
-            .basic_window(0)
-            .validate()
-            .is_err());
-        assert!(DisorderConfig::default().granularity(0).validate().is_err());
+            .is_ok());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! Unlike classic K-slack, the buffer size here is *externally adjustable*:
 //! the Buffer-Size Manager assigns a new `K` at every adaptation step.
 
+use crate::minheap::MinTsHeap;
 use mswj_types::{Duration, LocalClock, Timestamp, Tuple};
-use std::collections::BTreeMap;
 
 /// Lifetime statistics of one K-slack component.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,7 +23,9 @@ pub struct KSlackStats {
     /// Emitted tuples that were still out of order in the output stream
     /// (emitted with a timestamp smaller than an already-emitted one).
     pub residual_out_of_order: u64,
-    /// Largest number of tuples simultaneously buffered.
+    /// Largest number of tuples simultaneously buffered.  With `K = 0`
+    /// tuples bypass the buffer entirely (pass-through fast path), so this
+    /// stays 0 for a component that never held a positive `K`.
     pub peak_buffered: usize,
 }
 
@@ -51,10 +53,9 @@ pub struct KSlackStats {
 pub struct KSlack {
     k: Duration,
     clock: LocalClock,
-    /// Buffered tuples keyed by (timestamp, arrival counter) so that
-    /// iteration yields timestamp order with stable tie-breaking.
-    buffer: BTreeMap<(Timestamp, u64), Tuple>,
-    counter: u64,
+    /// Buffered tuples ordered by (timestamp, arrival counter) so that
+    /// emission yields timestamp order with stable tie-breaking.
+    buffer: MinTsHeap,
     max_emitted_ts: Timestamp,
     stats: KSlackStats,
 }
@@ -65,8 +66,7 @@ impl KSlack {
         KSlack {
             k,
             clock: LocalClock::new(),
-            buffer: BTreeMap::new(),
-            counter: 0,
+            buffer: MinTsHeap::new(),
             max_emitted_ts: Timestamp::ZERO,
             stats: KSlackStats::default(),
         }
@@ -105,54 +105,76 @@ impl KSlack {
     /// Processes the arrival of one tuple: annotates it with its delay,
     /// buffers it and returns every tuple that became emittable
     /// (`e.ts + K <= iT`), in timestamp order.
-    pub fn push(&mut self, mut tuple: Tuple) -> Vec<Tuple> {
+    ///
+    /// Allocation-sensitive callers should prefer [`KSlack::push_into`],
+    /// which appends to a reusable output buffer instead.
+    pub fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.push_into(tuple, &mut out);
+        out
+    }
+
+    /// Like [`KSlack::push`], but appends the emittable tuples to `out`
+    /// instead of returning a fresh `Vec` — the pipeline's hot path reuses
+    /// one scratch buffer across events, so a steady-state push performs no
+    /// heap allocation.
+    pub fn push_into(&mut self, mut tuple: Tuple, out: &mut Vec<Tuple>) {
         let delay = self.clock.observe(tuple.ts);
         tuple.set_delay(delay);
         self.stats.received += 1;
-        self.buffer.insert((tuple.ts, self.counter), tuple);
-        self.counter += 1;
+        if self.k == 0 && self.buffer.is_empty() {
+            // Fast path: with K = 0 and an empty buffer the tuple is
+            // immediately emittable (`iT >= e.ts` after the clock update),
+            // so skip the heap round-trip entirely.
+            self.account_emission(&tuple);
+            out.push(tuple);
+            return;
+        }
+        self.buffer.push(tuple);
         if self.buffer.len() > self.stats.peak_buffered {
             self.stats.peak_buffered = self.buffer.len();
         }
-        self.emit_ready()
+        self.emit_ready_into(out);
     }
 
     /// Emits every buffered tuple with `ts + K <= iT`, in timestamp order.
     /// Called automatically by [`KSlack::push`]; also useful after lowering
     /// `K` via [`KSlack::set_k`].
     pub fn emit_ready(&mut self) -> Vec<Tuple> {
-        let now = self.clock.now();
-        if !self.clock.started() {
-            return Vec::new();
-        }
         let mut out = Vec::new();
-        loop {
-            let emit = match self.buffer.keys().next() {
-                Some(&(ts, _)) => ts.saturating_add_duration(self.k) <= now,
-                None => false,
-            };
-            if !emit {
+        self.emit_ready_into(&mut out);
+        out
+    }
+
+    /// Like [`KSlack::emit_ready`], but appends to `out`.
+    pub fn emit_ready_into(&mut self, out: &mut Vec<Tuple>) {
+        if !self.clock.started() {
+            return;
+        }
+        let now = self.clock.now();
+        while let Some(ts) = self.buffer.peek_ts() {
+            if ts.saturating_add_duration(self.k) > now {
                 break;
             }
-            let (key, tuple) = self
-                .buffer
-                .pop_first()
-                .expect("buffer non-empty: key observed above");
-            debug_assert_eq!(key.0, tuple.ts);
+            let tuple = self.buffer.pop().expect("peeked just above");
             self.account_emission(&tuple);
             out.push(tuple);
         }
-        out
     }
 
     /// Emits everything still buffered (end of stream), in timestamp order.
     pub fn flush(&mut self) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(self.buffer.len());
-        while let Some((_, tuple)) = self.buffer.pop_first() {
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// Like [`KSlack::flush`], but appends to `out`.
+    pub fn flush_into(&mut self, out: &mut Vec<Tuple>) {
+        while let Some(tuple) = self.buffer.pop() {
             self.account_emission(&tuple);
             out.push(tuple);
         }
-        out
     }
 
     fn account_emission(&mut self, tuple: &Tuple) {

@@ -20,54 +20,68 @@
 //! | [`adaptation`] | Buffer-Size Manager, model-based K search, Alg. 3 |
 //! | [`policy`] | Quality-driven policy plus the paper's baselines |
 //! | [`pipeline`] | End-to-end wiring driven by arrival events |
+//! | [`builder`] | Fluent [`SessionBuilder`] assembling a whole session |
+//! | [`output`] | Typed [`OutputEvent`]s, [`Checkpoint`], [`RunReport`] |
+//! | [`sink`] | [`Sink`] trait and the built-in event sinks |
 //!
 //! ## Quick example
 //!
 //! ```
-//! use std::sync::Arc;
-//! use mswj_core::{BufferPolicy, DisorderConfig, Pipeline};
-//! use mswj_join::{CommonKeyEquiJoin, JoinQuery};
-//! use mswj_types::{ArrivalEvent, FieldType, Schema, StreamSet, Timestamp, Tuple, Value};
+//! use mswj_core::{CountingSink, Pipeline};
+//! use mswj_types::{ArrivalEvent, FieldType, Schema, Timestamp, Tuple, Value};
 //!
-//! // A 2-way equi-join with 1-second windows.
-//! let streams = StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), 1_000).unwrap();
-//! let condition = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
-//! let query = JoinQuery::new("example", streams, condition).unwrap();
+//! // A 2-way equi-join with 1-second windows and quality-driven disorder
+//! // handling targeting 95% recall, declared in one chain.
+//! let mut pipeline = Pipeline::builder()
+//!     .name("example")
+//!     .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 1_000)
+//!     .on_common_key("a1")
+//!     .quality_driven(0.95)
+//!     .period(5_000)
+//!     .interval(1_000)
+//!     .build()
+//!     .unwrap();
 //!
-//! // Quality-driven disorder handling with a 95% recall requirement.
-//! let config = DisorderConfig::with_gamma(0.95).period(5_000).interval(1_000);
-//! let mut pipeline = Pipeline::new(query, BufferPolicy::QualityDriven(config)).unwrap();
-//!
+//! // Drive it event by event; the sink observes checkpoints and progress.
+//! let mut sink = CountingSink::default();
 //! for i in 1..=100u64 {
 //!     let ts = Timestamp::from_millis(i * 10);
-//!     pipeline.push(ArrivalEvent::new(ts, Tuple::new(0.into(), i, ts, vec![Value::Int(1)])));
-//!     pipeline.push(ArrivalEvent::new(ts, Tuple::new(1.into(), i, ts, vec![Value::Int(1)])));
+//!     pipeline.push_into(ArrivalEvent::new(ts, Tuple::new(0.into(), i, ts, vec![Value::Int(1)])), &mut sink);
+//!     pipeline.push_into(ArrivalEvent::new(ts, Tuple::new(1.into(), i, ts, vec![Value::Int(1)])), &mut sink);
 //! }
 //! let report = pipeline.finish();
 //! assert!(report.total_produced > 0);
+//! assert!(sink.last_progress.is_some());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adaptation;
+pub mod builder;
 pub mod config;
 pub mod kslack;
+mod minheap;
 pub mod model;
+pub mod output;
 pub mod pipeline;
 pub mod policy;
 pub mod profiler;
 pub mod result_monitor;
+pub mod sink;
 pub mod statistics;
 pub mod synchronizer;
 
 pub use adaptation::{AdaptationOutcome, BufferSizeManager};
+pub use builder::SessionBuilder;
 pub use config::{DisorderConfig, SelectivityStrategy};
 pub use kslack::{KSlack, KSlackStats};
 pub use model::{ModelInputs, RecallModel};
-pub use pipeline::{Checkpoint, Pipeline, RunReport};
+pub use output::{Checkpoint, OutputEvent, RunReport};
+pub use pipeline::Pipeline;
 pub use policy::{BufferPolicy, PdGains, PdState};
 pub use profiler::{ProductivityProfiler, SelectivityTable};
 pub use result_monitor::ResultSizeMonitor;
+pub use sink::{sink_fn, CollectSink, CountingSink, FnSink, NullSink, Sink};
 pub use statistics::{DelayHistogram, StatisticsManager};
 pub use synchronizer::{Synchronizer, SynchronizerStats};

@@ -1,0 +1,145 @@
+//! A timestamp-ordered tuple heap shared by [`crate::KSlack`] and
+//! [`crate::Synchronizer`].
+//!
+//! Both components previously buffered tuples in a `BTreeMap` keyed by
+//! `(timestamp, arrival counter)`.  A binary heap with the same ordering is
+//! faster for the push/pop-min access pattern of the hot path and — unlike a
+//! B-tree, which allocates and frees nodes as it grows and shrinks — keeps
+//! its backing capacity across pops, so a pipeline in steady state performs
+//! **no heap allocation per event**.
+
+use mswj_types::{Timestamp, Tuple};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One buffered tuple; ordered by `(ts, counter)` so that iteration yields
+/// timestamp order with stable FIFO tie-breaking among equal timestamps.
+#[derive(Debug, Clone)]
+struct Entry {
+    ts: Timestamp,
+    counter: u64,
+    tuple: Tuple,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.ts == other.ts && self.counter == other.counter
+    }
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the smallest (ts, counter)
+        // pops first.
+        other
+            .ts
+            .cmp(&self.ts)
+            .then_with(|| other.counter.cmp(&self.counter))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of tuples ordered by timestamp with FIFO tie-breaking.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MinTsHeap {
+    heap: BinaryHeap<Entry>,
+    counter: u64,
+}
+
+impl MinTsHeap {
+    /// An empty heap.
+    pub(crate) fn new() -> Self {
+        MinTsHeap::default()
+    }
+
+    /// Buffers one tuple under its timestamp.
+    pub(crate) fn push(&mut self, tuple: Tuple) {
+        let entry = Entry {
+            ts: tuple.ts,
+            counter: self.counter,
+            tuple,
+        };
+        self.counter += 1;
+        self.heap.push(entry);
+    }
+
+    /// The smallest buffered timestamp, if any.
+    pub(crate) fn peek_ts(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|e| e.ts)
+    }
+
+    /// Removes and returns the tuple with the smallest `(ts, counter)`.
+    pub(crate) fn pop(&mut self) -> Option<Tuple> {
+        self.heap.pop().map(|e| e.tuple)
+    }
+
+    /// Number of buffered tuples.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mswj_types::StreamIndex;
+
+    fn t(seq: u64, ts: u64) -> Tuple {
+        Tuple::marker(StreamIndex(0), seq, Timestamp::from_millis(ts))
+    }
+
+    #[test]
+    fn pops_in_timestamp_order() {
+        let mut h = MinTsHeap::new();
+        for (seq, ts) in [(0u64, 50u64), (1, 10), (2, 30), (3, 20)] {
+            h.push(t(seq, ts));
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.peek_ts(), Some(Timestamp::from_millis(10)));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop())
+            .map(|t| t.ts.as_millis())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30, 50]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_pop_in_insertion_order() {
+        let mut h = MinTsHeap::new();
+        for seq in 0..5u64 {
+            h.push(t(seq, 7));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_is_retained_across_pops() {
+        let mut h = MinTsHeap::new();
+        for seq in 0..64u64 {
+            h.push(t(seq, seq));
+        }
+        while h.pop().is_some() {}
+        let cap_before = h.heap.capacity();
+        for seq in 0..64u64 {
+            h.push(t(seq, seq));
+        }
+        assert_eq!(
+            h.heap.capacity(),
+            cap_before,
+            "refilling must not reallocate"
+        );
+    }
+}

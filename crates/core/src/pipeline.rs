@@ -4,7 +4,7 @@
 //! policy:
 //!
 //! ```text
-//!   raw arrivals ──► K-slack (one per stream) ──► Synchronizer ──► MSWJ operator ──► results
+//!   raw arrivals ──► K-slack (one per stream) ──► Synchronizer ──► MSWJ operator ──► Sink
 //!        │                   ▲                                        │
 //!        ▼                   │ updates of K                           ▼
 //!   Statistics Manager ──► Buffer-Size Manager ◄── Tuple-Productivity Profiler
@@ -13,84 +13,34 @@
 //! ```
 //!
 //! The pipeline is driven by [`ArrivalEvent`]s (tuples in arrival order,
-//! interleaved across streams).  Every `L` milliseconds of the arrival axis
-//! a *checkpoint* is taken: adaptive policies run their adaptation step
-//! (Alg. 3 or the PD controller) and every policy records the buffer size in
-//! force, so that downstream metrics can measure `γ(P)` "right before each
-//! adaptation of K" exactly as the paper does.
+//! interleaved across streams) and delivers its output *event by event*:
+//! [`Pipeline::push_into`] hands every join result, checkpoint, buffer-size
+//! change and watermark advance to a caller-provided [`Sink`] as a borrowed
+//! [`OutputEvent`], so the counting hot path performs no
+//! per-event heap allocation.  Sessions are assembled with the fluent
+//! [`SessionBuilder`] (see [`Pipeline::builder`]).
+//!
+//! Every `L` milliseconds of the arrival axis a *checkpoint* is taken:
+//! adaptive policies run their adaptation step (Alg. 3 or the PD controller)
+//! and every policy records the buffer size in force, so that downstream
+//! metrics can measure `γ(P)` "right before each adaptation of K" exactly as
+//! the paper does.  Results released by a shrinking buffer are emitted into
+//! the sink within the same `push_into`/`finish_into` call that applied the
+//! shrink — nothing is parked in a side buffer.
 
 use crate::adaptation::BufferSizeManager;
+use crate::builder::SessionBuilder;
 use crate::config::DisorderConfig;
 use crate::kslack::KSlack;
+use crate::output::{Checkpoint, OutputEvent, RunReport};
 use crate::policy::{BufferPolicy, PdState};
 use crate::profiler::ProductivityProfiler;
 use crate::result_monitor::ResultSizeMonitor;
+use crate::sink::{NullSink, Sink};
 use crate::statistics::StatisticsManager;
 use crate::synchronizer::Synchronizer;
-use mswj_join::{JoinQuery, JoinResult, MswjOperator, OperatorStats};
-use mswj_types::{ArrivalEvent, Duration, Result, Timestamp, Tuple};
-
-#[cfg(test)]
-use mswj_types::StreamIndex;
-
-/// One periodic checkpoint (taken every `L` ms of the arrival axis).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Checkpoint {
-    /// Arrival-axis instant at which the checkpoint was taken.
-    pub at: Timestamp,
-    /// The join operator's `onT` at that moment — the reference point for
-    /// recall measurements over the result-timestamp domain.
-    pub measure_ts: Timestamp,
-    /// Buffer size K applied from this checkpoint on (ms).
-    pub k: Duration,
-    /// Instant recall requirement Γ' used by the adaptation (1.0-capped);
-    /// `NaN` for non-adaptive policies.
-    pub gamma_prime: f64,
-    /// Model-estimated recall at the chosen K; `NaN` for non-model policies.
-    pub estimated_recall: f64,
-    /// Wall-clock nanoseconds spent in the adaptation step (0 for baselines).
-    pub adaptation_nanos: u64,
-    /// Number of K candidates examined by Alg. 3 (0 for baselines).
-    pub steps: u32,
-}
-
-/// Summary of one pipeline run.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Name of the buffer-size policy that produced this run.
-    pub policy: String,
-    /// Per-probe result production: `(result timestamp, number of results)`.
-    /// Only probes that produced at least one result are recorded.
-    pub produced: Vec<(Timestamp, u64)>,
-    /// Periodic checkpoints (one per adaptation interval).
-    pub checkpoints: Vec<Checkpoint>,
-    /// Time-weighted average buffer size over the run (ms).
-    pub avg_k_ms: f64,
-    /// Join operator counters.
-    pub operator_stats: OperatorStats,
-    /// Total number of join results produced.
-    pub total_produced: u64,
-    /// Tuples that left a K-slack component still out of order.
-    pub kslack_residual_out_of_order: u64,
-    /// Largest raw tuple delay observed during the run (ms).
-    pub max_observed_delay: Duration,
-    /// Span of the arrival axis covered by the run (ms).
-    pub duration_ms: Duration,
-    /// Mean wall-clock nanoseconds per adaptation step (adaptive policies).
-    pub avg_adaptation_nanos: f64,
-}
-
-impl RunReport {
-    /// Average K expressed in seconds (the unit the paper plots).
-    pub fn avg_k_secs(&self) -> f64 {
-        self.avg_k_ms / 1_000.0
-    }
-
-    /// Average adaptation-step time in milliseconds (Fig. 11's metric).
-    pub fn avg_adaptation_millis(&self) -> f64 {
-        self.avg_adaptation_nanos / 1e6
-    }
-}
+use mswj_join::{JoinQuery, MswjOperator};
+use mswj_types::{ArrivalEvent, Duration, Result, StreamIndex, Timestamp, Tuple};
 
 /// The quality-driven disorder-handling pipeline for one MSWJ query.
 pub struct Pipeline {
@@ -115,10 +65,13 @@ pub struct Pipeline {
     produced_since_checkpoint: u64,
     produced: Vec<(Timestamp, u64)>,
     checkpoints: Vec<Checkpoint>,
-    /// Results materialized while applying a new K (the shrink of a buffer
-    /// can release tuples outside of a `push` call); drained by the next
-    /// `push` so that enumerating callers see every result.
-    pending_results: Vec<JoinResult>,
+    /// Watermark of the last [`OutputEvent::Progress`] emission.
+    last_progress: Option<Timestamp>,
+    /// Reusable scratch buffers for the K-slack → Synchronizer → operator
+    /// routing; capacity persists across events, so a steady-state push
+    /// allocates nothing.
+    scratch_released: Vec<Tuple>,
+    scratch_synced: Vec<Tuple>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -132,19 +85,26 @@ impl std::fmt::Debug for Pipeline {
 }
 
 impl Pipeline {
-    /// Creates a pipeline that counts results without materializing them
-    /// (the mode used by all experiments).
+    /// Starts a fluent [`SessionBuilder`] — the ergonomic way to declare
+    /// streams, join condition, policy and disorder configuration in one
+    /// chain (also reachable as `mswj::session()` from the facade crate).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// Creates a counting pipeline for a prebuilt query: results are
+    /// counted (never materialized), which is the mode every experiment
+    /// uses.  Sessions that want [`OutputEvent::Result`] events are built
+    /// via [`SessionBuilder::materialize_results`].
     pub fn new(query: JoinQuery, policy: BufferPolicy) -> Result<Self> {
-        Self::build(query, policy, false)
+        Self::construct(query, policy, false)
     }
 
-    /// Creates a pipeline that also materializes every join result; intended
-    /// for small workloads, examples and tests.
-    pub fn enumerating(query: JoinQuery, policy: BufferPolicy) -> Result<Self> {
-        Self::build(query, policy, true)
-    }
-
-    fn build(query: JoinQuery, policy: BufferPolicy, enumerate: bool) -> Result<Self> {
+    pub(crate) fn construct(
+        query: JoinQuery,
+        policy: BufferPolicy,
+        materialize: bool,
+    ) -> Result<Self> {
         let config: DisorderConfig = policy.config().copied().unwrap_or_default();
         config.validate()?;
         let m = query.arity();
@@ -156,7 +116,7 @@ impl Pipeline {
             BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
-        let operator = if enumerate {
+        let operator = if materialize {
             MswjOperator::enumerating(query.clone())
         } else {
             MswjOperator::new(query.clone())
@@ -183,7 +143,9 @@ impl Pipeline {
             produced_since_checkpoint: 0,
             produced: Vec::new(),
             checkpoints: Vec::new(),
-            pending_results: Vec::new(),
+            last_progress: None,
+            scratch_released: Vec::new(),
+            scratch_synced: Vec::new(),
             query,
             policy,
         })
@@ -204,14 +166,32 @@ impl Pipeline {
         &self.query
     }
 
+    /// Whether this session materializes join results (and hence emits
+    /// [`OutputEvent::Result`] events).
+    pub fn is_materializing(&self) -> bool {
+        self.operator.is_enumerating()
+    }
+
     /// Access to the runtime statistics manager (mainly for tests).
     pub fn statistics(&self) -> &StatisticsManager {
         &self.stats
     }
 
-    /// Processes one arrival and returns any materialized join results
-    /// (always empty in counting mode).
-    pub fn push(&mut self, event: ArrivalEvent) -> Vec<JoinResult> {
+    /// Processes one arrival, discarding output events — the counting-mode
+    /// convenience over [`Pipeline::push_into`].  All result accounting
+    /// still happens; the totals surface in the [`RunReport`].
+    pub fn push(&mut self, event: ArrivalEvent) {
+        self.push_into(event, &mut NullSink);
+    }
+
+    /// Processes one arrival, delivering every output event — join results
+    /// (materializing sessions only), checkpoints, buffer-size changes and
+    /// watermark advances — to `sink` as it happens.
+    ///
+    /// This is the hot path: events borrow from the pipeline and the
+    /// internal routing reuses scratch buffers, so a counting session in
+    /// steady state performs **no per-event heap allocation**.
+    pub fn push_into<S: Sink>(&mut self, event: ArrivalEvent, sink: &mut S) {
         let arrival = event.arrival;
         if self.first_arrival.is_none() {
             self.first_arrival = Some(arrival);
@@ -223,7 +203,7 @@ impl Pipeline {
         // Checkpoint / adaptation boundaries crossed by this arrival.
         while let Some(next) = self.next_checkpoint {
             if arrival >= next {
-                self.take_checkpoint(next);
+                self.take_checkpoint(next, sink);
                 self.next_checkpoint = Some(next.saturating_add_duration(self.interval_l));
             } else {
                 break;
@@ -236,27 +216,45 @@ impl Pipeline {
         if delay > self.lifetime_max_delay {
             self.lifetime_max_delay = delay;
             if matches!(self.policy, BufferPolicy::MaxKSlack) {
-                self.apply_k(self.lifetime_max_delay, arrival);
+                self.apply_k(self.lifetime_max_delay, arrival, sink);
             }
         }
 
-        let released = self.kslacks[stream.as_usize()].push(tuple);
-        let mut results = std::mem::take(&mut self.pending_results);
-        results.extend(self.route_downstream(released));
-        results
+        let mut released = std::mem::take(&mut self.scratch_released);
+        debug_assert!(released.is_empty());
+        self.kslacks[stream.as_usize()].push_into(tuple, &mut released);
+        self.route_downstream(&mut released, sink);
+        self.scratch_released = released;
     }
 
-    /// Flushes all buffers (end of stream) and produces the run report.
-    pub fn finish(mut self) -> RunReport {
+    /// Flushes all buffers (end of stream), discarding output events, and
+    /// produces the run report.
+    #[must_use = "finish() returns the RunReport with the run's figures"]
+    pub fn finish(self) -> RunReport {
+        self.finish_into(&mut NullSink)
+    }
+
+    /// Flushes all buffers (end of stream), delivering the results derived
+    /// during the final flush to `sink`, and produces the run report.
+    ///
+    /// Together with [`Pipeline::push_into`] this guarantees that a
+    /// materializing session's sink sees *every* result the report counts —
+    /// including results released by a buffer shrink at the very last
+    /// adaptation.
+    #[must_use = "finish_into() returns the RunReport with the run's figures"]
+    pub fn finish_into<S: Sink>(mut self, sink: &mut S) -> RunReport {
         // Flush K-slack components and the synchronizer.
-        let mut tail: Vec<Tuple> = Vec::new();
+        let mut tail = std::mem::take(&mut self.scratch_released);
         for ks in &mut self.kslacks {
-            tail.extend(ks.flush());
+            ks.flush_into(&mut tail);
         }
         tail.sort_by_key(|t| t.ts);
-        let _ = self.route_downstream(tail);
-        let synced = self.synchronizer.flush();
-        let _ = self.consume_synchronized(synced);
+        self.route_downstream(&mut tail, sink);
+        let mut synced = std::mem::take(&mut self.scratch_synced);
+        self.synchronizer.flush_into(&mut synced);
+        for t in synced.drain(..) {
+            self.consume_one(t, sink);
+        }
 
         // Close the average-K accounting.
         let end = self.last_arrival;
@@ -301,43 +299,50 @@ impl Pipeline {
         }
     }
 
-    /// Sends K-slack output through the synchronizer and the join operator.
-    fn route_downstream(&mut self, released: Vec<Tuple>) -> Vec<JoinResult> {
-        let mut synced = Vec::new();
-        for t in released {
-            synced.extend(self.synchronizer.push(t));
+    /// Sends K-slack output through the synchronizer and the join operator,
+    /// draining `released` and emitting derived results into `sink`.
+    fn route_downstream<S: Sink>(&mut self, released: &mut Vec<Tuple>, sink: &mut S) {
+        let mut synced = std::mem::take(&mut self.scratch_synced);
+        debug_assert!(synced.is_empty());
+        for t in released.drain(..) {
+            self.synchronizer.push_into(t, &mut synced);
         }
-        self.consume_synchronized(synced)
+        for t in synced.drain(..) {
+            self.consume_one(t, sink);
+        }
+        self.scratch_synced = synced;
     }
 
-    /// Feeds synchronized tuples to the join operator and records
-    /// productivity / result-size statistics.
-    fn consume_synchronized(&mut self, tuples: Vec<Tuple>) -> Vec<JoinResult> {
-        let mut results = Vec::new();
-        for t in tuples {
-            let delay = t.delay_or_zero();
-            let ts = t.ts;
-            let outcome = self.operator.push(t);
-            if outcome.in_order {
-                self.profiler
-                    .record_processed(delay, outcome.n_cross, outcome.n_join);
-                if outcome.n_join > 0 {
-                    self.monitor.record_produced(ts, outcome.n_join);
-                    self.produced.push((ts, outcome.n_join));
-                    self.produced_since_checkpoint += outcome.n_join;
-                }
-            } else {
-                self.profiler.record_unprocessed(delay);
+    /// Feeds one synchronized tuple to the join operator, records
+    /// productivity / result-size statistics and emits output events.
+    fn consume_one<S: Sink>(&mut self, t: Tuple, sink: &mut S) {
+        let delay = t.delay_or_zero();
+        let ts = t.ts;
+        let outcome = self
+            .operator
+            .push_with(t, &mut |r| sink.event(OutputEvent::Result(&r)));
+        if outcome.in_order {
+            self.profiler
+                .record_processed(delay, outcome.n_cross, outcome.n_join);
+            if outcome.n_join > 0 {
+                self.monitor.record_produced(ts, outcome.n_join);
+                self.produced.push((ts, outcome.n_join));
+                self.produced_since_checkpoint += outcome.n_join;
             }
-            results.extend(outcome.results);
+            let on_t = self.operator.on_t();
+            if self.last_progress != Some(on_t) {
+                self.last_progress = Some(on_t);
+                sink.event(OutputEvent::Progress(on_t));
+            }
+        } else {
+            self.profiler.record_unprocessed(delay);
         }
-        results
     }
 
     /// Takes one periodic checkpoint at arrival-axis instant `at`: runs the
     /// policy's adaptation (if any), applies the new K to every K-slack
-    /// component (Same-K policy) and records the checkpoint.
-    fn take_checkpoint(&mut self, at: Timestamp) {
+    /// component (Same-K policy), records the checkpoint and emits it.
+    fn take_checkpoint<S: Sink>(&mut self, at: Timestamp, sink: &mut S) {
         let measure_ts = self.operator.on_t();
         let mut gamma_prime = f64::NAN;
         let mut estimated = f64::NAN;
@@ -374,7 +379,7 @@ impl Pipeline {
             BufferPolicy::FixedK(k) => *k,
         };
         self.produced_since_checkpoint = 0;
-        self.apply_k(new_k, at);
+        self.apply_k(new_k, at, sink);
 
         self.checkpoints.push(Checkpoint {
             at,
@@ -385,34 +390,47 @@ impl Pipeline {
             adaptation_nanos: nanos,
             steps,
         });
+        let latest = self.checkpoints.last().expect("pushed just above");
+        sink.event(OutputEvent::Checkpoint(latest));
     }
 
-    /// Applies a new buffer size to every K-slack component (Same-K policy)
-    /// and updates the time-weighted average-K accounting.
-    fn apply_k(&mut self, k: Duration, at: Timestamp) {
+    /// Applies a new buffer size to every K-slack component (Same-K policy),
+    /// updates the time-weighted average-K accounting and emits one
+    /// [`OutputEvent::KChanged`] per stream.  Tuples released by a shrink
+    /// are routed downstream immediately, so the results they derive reach
+    /// `sink` within the same call.
+    fn apply_k<S: Sink>(&mut self, k: Duration, at: Timestamp, sink: &mut S) {
         if k == self.current_k {
             return;
         }
+        let old = self.current_k;
         self.k_weighted_sum += self.current_k as f64 * (at - self.k_since) as f64;
         self.k_since = at;
         self.current_k = k;
-        let mut released_all = Vec::new();
-        for ks in &mut self.kslacks {
+        let mut released = std::mem::take(&mut self.scratch_released);
+        debug_assert!(released.is_empty());
+        for (i, ks) in self.kslacks.iter_mut().enumerate() {
             ks.set_k(k);
+            sink.event(OutputEvent::KChanged {
+                stream: StreamIndex(i),
+                old,
+                new: k,
+            });
             // A smaller K may make buffered tuples immediately emittable.
-            released_all.extend(ks.emit_ready());
+            ks.emit_ready_into(&mut released);
         }
-        if !released_all.is_empty() {
-            released_all.sort_by_key(|t| t.ts);
-            let results = self.route_downstream(released_all);
-            self.pending_results.extend(results);
+        if !released.is_empty() {
+            released.sort_by_key(|t| t.ts);
+            self.route_downstream(&mut released, sink);
         }
+        self.scratch_released = released;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::{CollectSink, CountingSink};
     use mswj_join::CommonKeyEquiJoin;
     use mswj_types::{FieldType, Schema, StreamSet, Value};
     use std::sync::Arc;
@@ -531,11 +549,12 @@ mod tests {
     }
 
     #[test]
-    fn checkpoints_are_periodic() {
+    fn checkpoints_are_periodic_and_emitted_as_events() {
         let config = DisorderConfig::with_gamma(0.9).period(2_000).interval(500);
         let mut p = Pipeline::new(query(2, 500), BufferPolicy::QualityDriven(config)).unwrap();
+        let mut counts = CountingSink::default();
         for e in workload(1_000, 100) {
-            p.push(e);
+            p.push_into(e, &mut counts);
         }
         let report = p.finish();
         // 10 s of arrival axis with L = 0.5 s: roughly 19–20 checkpoints.
@@ -547,6 +566,13 @@ mod tests {
         for w in report.checkpoints.windows(2) {
             assert_eq!(w[1].at - w[0].at, 500);
         }
+        // Every checkpoint the report carries was also emitted as an event.
+        assert_eq!(counts.checkpoints, report.checkpoints.len() as u64);
+        // The watermark advanced and was reported.
+        assert!(counts.last_progress.is_some());
+        // A counting session never emits Result events.
+        assert_eq!(counts.results, 0);
+        assert!(report.total_produced > 0);
     }
 
     #[test]
@@ -577,15 +603,39 @@ mod tests {
     }
 
     #[test]
-    fn enumerating_pipeline_materializes_results() {
-        let mut p = Pipeline::enumerating(query(2, 200), BufferPolicy::NoKSlack).unwrap();
-        let mut materialized = 0usize;
+    fn materializing_session_emits_every_result() {
+        let mut p = Pipeline::builder()
+            .query(query(2, 200))
+            .policy(BufferPolicy::NoKSlack)
+            .materialize_results()
+            .build()
+            .unwrap();
+        assert!(p.is_materializing());
+        let mut collected = CollectSink::default();
         for e in workload(200, 0) {
-            materialized += p.push(e).len();
+            p.push_into(e, &mut collected);
         }
+        let report = p.finish_into(&mut collected);
+        assert_eq!(collected.results.len() as u64, report.total_produced);
+        assert!(!collected.results.is_empty());
+        // Results carry their deriving tuples in stream order.
+        assert!(collected.results.iter().all(|r| r.arity() == 2));
+    }
+
+    #[test]
+    fn k_changes_are_emitted_per_stream() {
+        let mut p = Pipeline::new(query(2, 500), BufferPolicy::MaxKSlack).unwrap();
+        let mut counts = CountingSink::default();
+        for e in workload(200, 150) {
+            p.push_into(e, &mut counts);
+        }
+        // Max-K-slack raises K at least once (one event per stream).
+        assert!(counts.k_changes >= 2);
+        assert_eq!(counts.k_changes % 2, 0);
         let report = p.finish();
-        assert_eq!(materialized as u64, report.total_produced);
-        assert!(materialized > 0);
+        // Every 4th tuple is 150 ms late; relative to the stream's local
+        // clock the observed delay is 140 ms.
+        assert!(report.max_observed_delay >= 140);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! the intra-stream disorder of leading streams — the `K_sync_i` of
 //! Theorem 1 (Same-K policy).
 
+use crate::minheap::MinTsHeap;
 use mswj_types::{StreamIndex, Timestamp, Tuple};
-use std::collections::BTreeMap;
 
 /// Lifetime statistics of the Synchronizer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,10 +38,9 @@ pub struct SynchronizerStats {
 pub struct Synchronizer {
     t_sync: Timestamp,
     /// Buffered tuples ordered by (timestamp, arrival counter).
-    buffer: BTreeMap<(Timestamp, u64), Tuple>,
+    buffer: MinTsHeap,
     /// Number of buffered tuples per stream.
     per_stream: Vec<usize>,
-    counter: u64,
     stats: SynchronizerStats,
 }
 
@@ -50,9 +49,8 @@ impl Synchronizer {
     pub fn new(arity: usize) -> Self {
         Synchronizer {
             t_sync: Timestamp::ZERO,
-            buffer: BTreeMap::new(),
+            buffer: MinTsHeap::new(),
             per_stream: vec![0; arity],
-            counter: 0,
             stats: SynchronizerStats::default(),
         }
     }
@@ -84,68 +82,70 @@ impl Synchronizer {
 
     /// Processes one tuple according to Alg. 1 and returns the tuples
     /// released downstream (possibly none, possibly several).
+    ///
+    /// Allocation-sensitive callers should prefer
+    /// [`Synchronizer::push_into`], which appends to a reusable buffer.
     pub fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.push_into(tuple, &mut out);
+        out
+    }
+
+    /// Like [`Synchronizer::push`], but appends the released tuples to
+    /// `out` instead of returning a fresh `Vec`.
+    pub fn push_into(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) {
         self.stats.received += 1;
         if tuple.ts > self.t_sync {
             // Lines 4–8: buffer, then drain while every stream is present.
             self.per_stream[tuple.stream.as_usize()] += 1;
-            self.buffer.insert((tuple.ts, self.counter), tuple);
-            self.counter += 1;
+            self.buffer.push(tuple);
             if self.buffer.len() > self.stats.peak_buffered {
                 self.stats.peak_buffered = self.buffer.len();
             }
-            self.drain()
+            self.drain_into(out);
         } else {
             // Lines 9–10: emit immediately.
             self.stats.emitted_immediately += 1;
-            vec![tuple]
+            out.push(tuple);
         }
     }
 
     /// Emits everything still buffered (end of stream), in timestamp order.
     pub fn flush(&mut self) -> Vec<Tuple> {
         let mut out = Vec::with_capacity(self.buffer.len());
-        while let Some(((ts, _), tuple)) = self.buffer.pop_first() {
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// Like [`Synchronizer::flush`], but appends to `out`.
+    pub fn flush_into(&mut self, out: &mut Vec<Tuple>) {
+        while let Some(tuple) = self.buffer.pop() {
             self.per_stream[tuple.stream.as_usize()] -= 1;
-            if ts > self.t_sync {
-                self.t_sync = ts;
+            if tuple.ts > self.t_sync {
+                self.t_sync = tuple.ts;
             }
             self.stats.emitted_synchronized += 1;
             out.push(tuple);
         }
-        out
     }
 
     /// Drains the buffer while it contains at least one tuple of each stream
     /// (Alg. 1, lines 6–8).
-    fn drain(&mut self) -> Vec<Tuple> {
-        let mut out = Vec::new();
+    fn drain_into(&mut self, out: &mut Vec<Tuple>) {
         while self.per_stream.iter().all(|&c| c > 0) {
             let min_ts = self
                 .buffer
-                .keys()
-                .next()
-                .map(|&(ts, _)| ts)
+                .peek_ts()
                 .expect("per-stream counts imply a non-empty buffer");
             self.t_sync = min_ts;
             // Emit every tuple whose timestamp equals T_sync.
-            loop {
-                let matches = self
-                    .buffer
-                    .keys()
-                    .next()
-                    .map(|&(ts, _)| ts == min_ts)
-                    .unwrap_or(false);
-                if !matches {
-                    break;
-                }
-                let (_, tuple) = self.buffer.pop_first().expect("checked above");
+            while self.buffer.peek_ts() == Some(min_ts) {
+                let tuple = self.buffer.pop().expect("checked above");
                 self.per_stream[tuple.stream.as_usize()] -= 1;
                 self.stats.emitted_synchronized += 1;
                 out.push(tuple);
             }
         }
-        out
     }
 }
 

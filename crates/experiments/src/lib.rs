@@ -170,7 +170,10 @@ pub fn run_policy_with_truth(
     period_p: Duration,
     truth: &CountSeries,
 ) -> PolicyEval {
-    let mut pipeline = mswj_core::Pipeline::new(dataset.query.clone(), policy)
+    let mut pipeline = mswj_core::Pipeline::builder()
+        .query(dataset.query.clone())
+        .policy(policy)
+        .build()
         .expect("experiment configurations are valid");
     for event in dataset.log.iter() {
         pipeline.push(event.clone());

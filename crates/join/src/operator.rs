@@ -27,7 +27,11 @@ use mswj_types::{StreamIndex, Timestamp, Tuple, Value};
 use std::sync::Arc;
 
 /// What happened when one tuple was pushed into the operator.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Materialized results are not carried here: in enumerating mode they are
+/// handed to the caller's emit callback one by one (see
+/// [`MswjOperator::push_with`]), so the outcome itself stays allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProbeOutcome {
     /// Whether the tuple arrived in timestamp order w.r.t. `onT`.
     pub in_order: bool,
@@ -43,8 +47,6 @@ pub struct ProbeOutcome {
     pub n_cross: u64,
     /// Number of tuples expired from other windows by this arrival.
     pub expired: usize,
-    /// Materialized results (empty unless the operator enumerates results).
-    pub results: Vec<JoinResult>,
 }
 
 /// Aggregate counters over the operator's lifetime.
@@ -167,7 +169,21 @@ impl MswjOperator {
     }
 
     /// Processes one tuple according to Alg. 2 and reports what happened.
+    ///
+    /// In enumerating mode the materialized results are computed and
+    /// discarded; use [`MswjOperator::push_with`] to receive them.
     pub fn push(&mut self, tuple: Tuple) -> ProbeOutcome {
+        self.push_with(tuple, &mut |_| {})
+    }
+
+    /// Processes one tuple according to Alg. 2, invoking `emit` once per
+    /// materialized join result (enumerating operators only — a counting
+    /// operator never calls `emit`) and reporting what happened.
+    ///
+    /// This is the event-driven hot path used by the pipeline's sink-based
+    /// output: results stream out through the callback instead of being
+    /// collected into a per-push `Vec`.
+    pub fn push_with(&mut self, tuple: Tuple, emit: &mut dyn FnMut(JoinResult)) -> ProbeOutcome {
         let i = tuple.stream.as_usize();
         debug_assert!(i < self.windows.len(), "tuple references unknown stream");
         let in_order = !self.started || tuple.ts >= self.on_t;
@@ -189,9 +205,12 @@ impl MswjOperator {
             // Step 2: probe remaining tuples in all other windows.
             outcome.n_cross = self.cross_size(i);
             if self.enumerate {
-                let results = self.enumerate_results(i, &tuple);
-                outcome.n_join = results.len() as u64;
-                outcome.results = results;
+                let mut n_join = 0u64;
+                self.for_each_combination(i, &tuple, &mut |combo| {
+                    n_join += 1;
+                    emit(JoinResult::new(combo.iter().map(|&t| t.clone()).collect()));
+                });
+                outcome.n_join = n_join;
             } else {
                 outcome.n_join = self.count_results(i, &tuple);
             }
@@ -317,15 +336,6 @@ impl MswjOperator {
         count
     }
 
-    /// Nested-loop enumeration producing materialized results.
-    fn enumerate_results(&self, i: usize, tuple: &Tuple) -> Vec<JoinResult> {
-        let mut results = Vec::new();
-        self.for_each_combination(i, tuple, &mut |combo| {
-            results.push(JoinResult::new(combo.iter().map(|&t| t.clone()).collect()));
-        });
-        results
-    }
-
     /// Invokes `f` for every combination of one live tuple per other stream
     /// (plus the probing tuple at position `i`) that satisfies the join
     /// condition.  Combinations are presented in stream order.
@@ -448,12 +458,13 @@ mod tests {
         let mut total_enumerated = 0;
         for t in tuples {
             let a = counting.push(t.clone());
-            let b = enumerating.push(t);
+            let mut materialized = Vec::new();
+            let b = enumerating.push_with(t, &mut |r| materialized.push(r));
             assert_eq!(a.n_join, b.n_join);
             assert_eq!(a.n_cross, b.n_cross);
-            assert_eq!(b.n_join as usize, b.results.len());
+            assert_eq!(b.n_join as usize, materialized.len());
             total_counting += a.n_join;
-            total_enumerated += b.results.len() as u64;
+            total_enumerated += materialized.len() as u64;
         }
         // (0,1)x(1,1): S2#0 joins S1#0; S1#2 joins S2#0; S2#2 joins S1#0 and S1#2, etc.
         assert_eq!(total_counting, total_enumerated);
@@ -573,9 +584,10 @@ mod tests {
         ];
         for t in script {
             let a = counting.push(t.clone());
-            let b = enumerating.push(t);
+            let mut emitted = 0u64;
+            let b = enumerating.push_with(t, &mut |_| emitted += 1);
             assert_eq!(a.n_join, b.n_join, "count vs enumeration disagreement");
-            assert_eq!(b.results.len() as u64, b.n_join);
+            assert_eq!(emitted, b.n_join);
         }
         assert_eq!(counting.stats().results, enumerating.stats().results);
         assert!(counting.stats().results > 0);

@@ -62,10 +62,15 @@ impl ArrivalLog {
         ArrivalLog::default()
     }
 
-    /// Builds a log from pre-ordered events, sorting defensively by arrival
-    /// instant (stable, so ties keep their original relative order).
+    /// Builds a log from events in any order, sorting by arrival instant
+    /// with ties broken by `(stream index, sequence number)`.
+    ///
+    /// The tie-break makes the resulting order a pure function of the event
+    /// *set*: two shuffles of the same events produce identical logs, and
+    /// equal-arrival ties across streams follow the same stream-index order
+    /// that [`Interleaver`] uses — so replays are deterministic.
     pub fn from_events(mut events: Vec<ArrivalEvent>) -> Self {
-        events.sort_by_key(|e| e.arrival);
+        events.sort_by_key(|e| (e.arrival, e.stream(), e.tuple.seq));
         ArrivalLog { events }
     }
 
@@ -263,6 +268,27 @@ mod tests {
         assert_eq!(arrivals, vec![10, 50]);
         assert_eq!(log.len(), 2);
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn from_events_breaks_arrival_ties_by_stream_then_seq() {
+        // Same arrival instant everywhere, scrambled input order.
+        let scrambled = vec![
+            ev(2, 0, 1, 10),
+            ev(0, 1, 1, 10),
+            ev(1, 0, 1, 10),
+            ev(0, 0, 1, 10),
+        ];
+        let log = ArrivalLog::from_events(scrambled.clone());
+        let order: Vec<(usize, u64)> = log
+            .iter()
+            .map(|e| (e.stream().as_usize(), e.tuple.seq))
+            .collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (2, 0)]);
+        // Any permutation of the same events yields the identical log.
+        let mut reversed = scrambled;
+        reversed.reverse();
+        assert_eq!(ArrivalLog::from_events(reversed), log);
     }
 
     #[test]

@@ -82,13 +82,22 @@ pub struct StreamSet {
 }
 
 impl StreamSet {
-    /// Builds a stream set; a join needs at least two input streams.
+    /// Builds a stream set; a join needs at least two input streams with
+    /// pairwise-distinct names.
     pub fn new(specs: Vec<StreamSpec>) -> Result<Self> {
         if specs.len() < 2 {
             return Err(Error::InvalidConfig(format!(
                 "an m-way join needs at least 2 input streams, got {}",
                 specs.len()
             )));
+        }
+        for (i, a) in specs.iter().enumerate() {
+            if specs[..i].iter().any(|b| b.name == a.name) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate stream name `{}`",
+                    a.name
+                )));
+            }
         }
         Ok(StreamSet { specs })
     }
@@ -162,6 +171,19 @@ mod tests {
         assert!(err.is_err());
         let ok = StreamSet::homogeneous(2, schema(), 100);
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn stream_set_rejects_duplicate_names() {
+        let err = StreamSet::new(vec![
+            StreamSpec::new("S1", schema(), 100),
+            StreamSpec::new("S2", schema(), 100),
+            StreamSpec::new("S1", schema(), 100),
+        ]);
+        assert!(matches!(
+            err,
+            Err(Error::InvalidConfig(msg)) if msg.contains("duplicate stream name `S1`")
+        ));
     }
 
     #[test]

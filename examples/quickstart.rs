@@ -1,10 +1,11 @@
-//! Quickstart: a tiny 2-way equi-join with out-of-order input, run once
-//! without disorder handling and once with the quality-driven framework.
+//! Quickstart: a tiny 2-way equi-join with out-of-order input, declared
+//! with the fluent session builder and run once without disorder handling
+//! and once with the quality-driven framework, with output events observed
+//! through a [`Sink`].
 //!
 //! Run with `cargo run --example quickstart`.
 
 use mswj::prelude::*;
-use std::sync::Arc;
 
 fn workload() -> Vec<ArrivalEvent> {
     // Two streams, a tuple every 20 ms on each; every 5th tuple of stream 0
@@ -35,28 +36,35 @@ fn workload() -> Vec<ArrivalEvent> {
     events
 }
 
-fn build_query() -> JoinQuery {
-    let streams =
-        StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), 1_000).unwrap();
-    let condition = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
-    JoinQuery::new("quickstart", streams, condition).unwrap()
+/// One chain declares the whole session: streams, join condition and
+/// buffer-size policy — no `StreamSet`/`Arc<…>`/`JoinQuery` assembly.
+fn session(policy: BufferPolicy) -> Pipeline {
+    mswj::session()
+        .name("quickstart")
+        .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 1_000)
+        .on_common_key("a1")
+        .policy(policy)
+        .build()
+        .expect("declaration is valid")
 }
 
-fn run(policy: BufferPolicy) -> RunReport {
-    let mut pipeline = Pipeline::new(build_query(), policy).unwrap();
+/// Counting hot path: events are pushed through a `CountingSink`, which
+/// tallies checkpoints and buffer-size changes without any allocation.
+fn run(policy: BufferPolicy) -> (RunReport, CountingSink) {
+    let mut pipeline = session(policy);
+    let mut sink = CountingSink::default();
     for event in workload() {
-        pipeline.push(event);
+        pipeline.push_into(event, &mut sink);
     }
-    pipeline.finish()
+    (pipeline.finish(), sink)
 }
 
 fn main() {
-    let query = build_query();
     let log = ArrivalLog::from_events(workload());
-    let truth = ground_truth_counts(&query, &log);
+    let truth = ground_truth_counts(session(BufferPolicy::NoKSlack).query(), &log);
     println!("true join results: {}", truth.total());
 
-    let no_handling = run(BufferPolicy::NoKSlack);
+    let (no_handling, _) = run(BufferPolicy::NoKSlack);
     println!(
         "No-K-slack     : produced {:>6} results ({:.1}% of the truth), avg K = {:.0} ms",
         no_handling.total_produced,
@@ -67,15 +75,18 @@ fn main() {
     let config = DisorderConfig::with_gamma(0.95)
         .period(5_000)
         .interval(1_000);
-    let quality = run(BufferPolicy::QualityDriven(config));
+    let (quality, events) = run(BufferPolicy::QualityDriven(config));
     println!(
-        "Quality-driven : produced {:>6} results ({:.1}% of the truth), avg K = {:.0} ms",
+        "Quality-driven : produced {:>6} results ({:.1}% of the truth), avg K = {:.0} ms \
+         ({} checkpoints, {} K-changes observed via the sink)",
         quality.total_produced,
         100.0 * quality.total_produced as f64 / truth.total() as f64,
-        quality.avg_k_ms
+        quality.avg_k_ms,
+        events.checkpoints,
+        events.k_changes,
     );
 
-    let max_k = run(BufferPolicy::MaxKSlack);
+    let (max_k, _) = run(BufferPolicy::MaxKSlack);
     println!(
         "Max-K-slack    : produced {:>6} results ({:.1}% of the truth), avg K = {:.0} ms",
         max_k.total_produced,

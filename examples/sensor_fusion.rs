@@ -17,16 +17,20 @@ fn main() {
     let truth = ground_truth_counts(&dataset.query, &dataset.log);
     println!("true join results: {}", truth.total());
 
+    const PERIOD_MS: u64 = 30_000;
     println!("\n  Γ        avg K (s)   Φ(Γ) %    overall recall");
     for gamma in [0.9, 0.95, 0.99, 0.999] {
-        let dh = DisorderConfig::with_gamma(gamma).period(30_000);
-        let mut pipeline =
-            Pipeline::new(dataset.query.clone(), BufferPolicy::QualityDriven(dh)).unwrap();
+        let mut pipeline = mswj::session()
+            .query(dataset.query.clone())
+            .quality_driven(gamma)
+            .period(PERIOD_MS)
+            .build()
+            .unwrap();
         for event in dataset.log.iter() {
             pipeline.push(event.clone());
         }
         let report = pipeline.finish();
-        let eval = evaluate_recall(&report, &truth, dh.period_p);
+        let eval = evaluate_recall(&report, &truth, PERIOD_MS);
         println!(
             "  {gamma:<7}  {:>9.2}   {:>6.1}    {:.4}",
             report.avg_k_secs(),
@@ -38,12 +42,16 @@ fn main() {
     // Baselines for reference.
     for policy in [BufferPolicy::NoKSlack, BufferPolicy::MaxKSlack] {
         let name = policy.name();
-        let mut pipeline = Pipeline::new(dataset.query.clone(), policy).unwrap();
+        let mut pipeline = mswj::session()
+            .query(dataset.query.clone())
+            .policy(policy)
+            .build()
+            .unwrap();
         for event in dataset.log.iter() {
             pipeline.push(event.clone());
         }
         let report = pipeline.finish();
-        let eval = evaluate_recall(&report, &truth, 30_000);
+        let eval = evaluate_recall(&report, &truth, PERIOD_MS);
         println!(
             "  {name:<12} avg K = {:>6.2} s, overall recall = {:.4}",
             report.avg_k_secs(),

@@ -19,17 +19,20 @@ fn main() {
     let truth = ground_truth_counts(&dataset.query, &dataset.log);
     println!("true proximity events (dist < 5 m): {}", truth.total());
 
+    const PERIOD_MS: u64 = 30_000;
     for gamma in [0.9, 0.99] {
-        let cfg = DisorderConfig::with_gamma(gamma)
-            .period(30_000)
-            .interval(1_000);
-        let mut pipeline =
-            Pipeline::new(dataset.query.clone(), BufferPolicy::QualityDriven(cfg)).unwrap();
+        let mut pipeline = mswj::session()
+            .query(dataset.query.clone())
+            .quality_driven(gamma)
+            .period(PERIOD_MS)
+            .interval(1_000)
+            .build()
+            .unwrap();
         for event in dataset.log.iter() {
             pipeline.push(event.clone());
         }
         let report = pipeline.finish();
-        let eval = evaluate_recall(&report, &truth, cfg.period_p);
+        let eval = evaluate_recall(&report, &truth, PERIOD_MS);
         println!(
             "Γ = {gamma:<5} -> avg K = {:6.2} s, recall Φ(Γ) = {:5.1}%, overall recall = {:.3}",
             report.avg_k_secs(),
@@ -38,7 +41,11 @@ fn main() {
         );
     }
 
-    let mut max_k = Pipeline::new(dataset.query.clone(), BufferPolicy::MaxKSlack).unwrap();
+    let mut max_k = mswj::session()
+        .query(dataset.query.clone())
+        .max_k_slack()
+        .build()
+        .unwrap();
     for event in dataset.log.iter() {
         max_k.push(event.clone());
     }

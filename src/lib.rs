@@ -14,30 +14,34 @@
 //!
 //! ## Quickstart
 //!
+//! A session is declared with the fluent builder ([`session`]) and driven
+//! event by event; output streams into a [`Sink`](prelude::Sink) with zero
+//! per-event allocation in counting mode:
+//!
 //! ```
 //! use mswj::prelude::*;
-//! use std::sync::Arc;
 //!
-//! // Two streams joined on equality of attribute "a1", 1-second windows.
-//! let streams = StreamSet::homogeneous(
-//!     2,
-//!     Schema::new(vec![("a1", FieldType::Int)]),
-//!     1_000,
-//! ).unwrap();
-//! let condition = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
-//! let query = JoinQuery::new("quickstart", streams, condition).unwrap();
+//! // Two streams joined on equality of attribute "a1", 1-second windows,
+//! // quality-driven disorder handling: ≥95% recall measured over 5 s.
+//! let mut pipeline = mswj::session()
+//!     .name("quickstart")
+//!     .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 1_000)
+//!     .on_common_key("a1")
+//!     .quality_driven(0.95)
+//!     .period(5_000)
+//!     .interval(1_000)
+//!     .build()
+//!     .unwrap();
 //!
-//! // Quality-driven disorder handling: at least 95% recall, measured over 5 s.
-//! let config = DisorderConfig::with_gamma(0.95).period(5_000).interval(1_000);
-//! let mut pipeline = Pipeline::new(query, BufferPolicy::QualityDriven(config)).unwrap();
-//!
+//! let mut sink = CountingSink::default();
 //! for i in 1..=500u64 {
 //!     let ts = Timestamp::from_millis(i * 10);
-//!     pipeline.push(ArrivalEvent::new(ts, Tuple::new(0.into(), i, ts, vec![Value::Int(1)])));
-//!     pipeline.push(ArrivalEvent::new(ts, Tuple::new(1.into(), i, ts, vec![Value::Int(1)])));
+//!     pipeline.push_into(ArrivalEvent::new(ts, Tuple::new(0.into(), i, ts, vec![Value::Int(1)])), &mut sink);
+//!     pipeline.push_into(ArrivalEvent::new(ts, Tuple::new(1.into(), i, ts, vec![Value::Int(1)])), &mut sink);
 //! }
 //! let report = pipeline.finish();
 //! assert!(report.total_produced > 0);
+//! assert!(sink.checkpoints > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -50,12 +54,24 @@ pub use mswj_join as join;
 pub use mswj_metrics as metrics;
 pub use mswj_types as types;
 
+pub use mswj_core::SessionBuilder;
+
+/// Starts a fluent [`SessionBuilder`] declaring a new disorder-handling
+/// session: streams, join condition, buffer-size policy and disorder
+/// configuration in one chain, validated at `build()`.
+///
+/// Equivalent to [`mswj_core::Pipeline::builder`].
+pub fn session() -> SessionBuilder {
+    SessionBuilder::new()
+}
+
 /// Convenient glob-import of the most frequently used items.
 pub mod prelude {
     pub use mswj_adwin::Adwin;
     pub use mswj_core::{
-        BufferPolicy, Checkpoint, DisorderConfig, KSlack, Pipeline, RunReport, SelectivityStrategy,
-        Synchronizer,
+        sink_fn, BufferPolicy, Checkpoint, CollectSink, CountingSink, DisorderConfig, FnSink,
+        KSlack, NullSink, OutputEvent, Pipeline, RunReport, SelectivityStrategy, SessionBuilder,
+        Sink, Synchronizer,
     };
     pub use mswj_datasets::{
         q2_query, q3_query, q4_query, Dataset, SoccerConfig, SoccerDataset, SyntheticConfig,

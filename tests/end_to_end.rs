@@ -122,28 +122,117 @@ fn four_way_star_join_end_to_end() {
 }
 
 #[test]
-fn enumerating_and_counting_pipelines_agree() {
+fn materializing_and_counting_pipelines_agree_exactly() {
     let cfg = SyntheticConfig::three_way()
         .duration_secs(10)
         .max_delay(1_000);
     let dataset = SyntheticDataset::generate(&cfg, 23).into_dataset();
     let counting = run(&dataset, BufferPolicy::MaxKSlack);
 
-    let mut enumerating =
-        Pipeline::enumerating(dataset.query.clone(), BufferPolicy::MaxKSlack).unwrap();
-    let mut materialized = 0u64;
+    let mut materializing = mswj::session()
+        .query(dataset.query.clone())
+        .max_k_slack()
+        .materialize_results()
+        .build()
+        .unwrap();
+    let mut sink = CollectSink::default();
     for event in dataset.log.iter() {
-        materialized += enumerating.push(event.clone()).len() as u64;
+        materializing.push_into(event.clone(), &mut sink);
     }
-    let report = enumerating.finish();
+    let report = materializing.finish_into(&mut sink);
     assert_eq!(report.total_produced, counting.total_produced);
-    // `finish()` flushes the remaining buffered tuples; the results derived
-    // during that final flush are counted in the report but are not returned
-    // by any `push` call, so the materialized count is a lower bound.
-    assert!(materialized <= report.total_produced);
+    // The sink sees *every* result the report counts: results derived while
+    // pushing and results derived by the final flush alike.  (The former
+    // push-Vec surface silently dropped the flush-derived ones.)
+    assert_eq!(sink.results.len() as u64, report.total_produced);
+    assert!(sink.results.iter().all(|r| r.arity() == 3));
+}
+
+/// Regression test for the `pending_results` drain hazard of the old
+/// push-Vec surface: a materializing run whose *last* adaptation shrinks K
+/// (releasing buffered tuples, deriving results outside any further push)
+/// must still deliver every result to the sink by the time `finish_into`
+/// returns.
+#[test]
+fn k_shrink_at_last_adaptation_still_reports_every_result() {
+    let build = || {
+        mswj::session()
+            .name("shrink-regression")
+            .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
+            .on_common_key("a1")
+            .quality_driven(0.9)
+            .period(4_000)
+            .interval(500)
+            .granularity(50)
+            .materialize_results()
+            .build()
+            .unwrap()
+    };
+    // Phase 1 (0–2 s): every other stream-0 tuple is 400 ms late, so the
+    // quality-driven manager grows K.  Phase 2 (2 s+): perfectly ordered
+    // input, so the manager eventually shrinks K back down.
+    let workload = |until_arrival: u64| {
+        let mut events = Vec::new();
+        for i in 1..=1_200u64 {
+            let t = i * 10;
+            if t > until_arrival {
+                break;
+            }
+            let ts0 = if t <= 2_000 && i % 2 == 0 {
+                t.saturating_sub(400)
+            } else {
+                t
+            };
+            events.push(ArrivalEvent::new(
+                Timestamp::from_millis(t),
+                Tuple::new(
+                    0.into(),
+                    i,
+                    Timestamp::from_millis(ts0),
+                    vec![Value::Int(1)],
+                ),
+            ));
+            events.push(ArrivalEvent::new(
+                Timestamp::from_millis(t),
+                Tuple::new(1.into(), i, Timestamp::from_millis(t), vec![Value::Int(1)]),
+            ));
+        }
+        events
+    };
+
+    // Pass 1: find the first checkpoint that shrinks K.
+    let mut probe = build();
+    for event in workload(u64::MAX) {
+        probe.push(event);
+    }
+    let full = probe.finish();
+    let shrink_at = full
+        .checkpoints
+        .windows(2)
+        .find(|w| w[1].k < w[0].k)
+        .map(|w| w[1].at)
+        .expect("workload must trigger a K shrink");
+
+    // Pass 2: stop pushing right at the arrival that triggers that shrink,
+    // so the shrinking adaptation is the run's last one.
+    let mut p = build();
+    let mut sink = CollectSink::default();
+    for event in workload(shrink_at.as_millis()) {
+        p.push_into(event, &mut sink);
+    }
+    let report = p.finish_into(&mut sink);
+    let last = *report.checkpoints.last().expect("checkpoints exist");
+    let peak_k = report.checkpoints.iter().map(|c| c.k).max().unwrap();
     assert!(
-        materialized as f64 >= 0.8 * report.total_produced as f64,
-        "materialized {materialized} vs total {}",
-        report.total_produced
+        last.k < peak_k,
+        "last adaptation (K = {}) must be a shrink from the peak {}",
+        last.k,
+        peak_k
+    );
+    assert!(report.total_produced > 0);
+    assert_eq!(
+        sink.results.len() as u64,
+        report.total_produced,
+        "results released by the final K shrink must reach the sink"
     );
 }

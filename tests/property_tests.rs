@@ -88,6 +88,56 @@ proptest! {
         prop_assert_eq!(ts, sorted);
     }
 
+    /// `ArrivalLog::from_events` is a pure function of the event *set*:
+    /// equal-arrival-time events keep a stable, stream-index (then seq)
+    /// tie-broken order no matter how the input is shuffled, and the
+    /// heap-based `Interleaver` produces the identical global order from
+    /// the per-stream sequences.
+    #[test]
+    fn arrival_order_is_deterministic_under_shuffling(
+        s0 in stream_events(0, 50, 40),
+        s1 in stream_events(1, 50, 40),
+        seed in 0u64..1_000_000,
+    ) {
+        let per_stream = vec![s0.clone(), s1.clone()];
+        let mut events: Vec<ArrivalEvent> = s0.into_iter().chain(s1).collect();
+        let baseline = ArrivalLog::from_events(events.clone());
+
+        // Deterministic Fisher–Yates shuffle driven by an xorshift state.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        for i in (1..events.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            events.swap(i, j);
+        }
+        let shuffled = ArrivalLog::from_events(events);
+        prop_assert_eq!(&shuffled, &baseline);
+
+        // Adjacent equal-arrival events are ordered by (stream, seq).
+        for w in baseline.events().windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+            if w[0].arrival == w[1].arrival {
+                prop_assert!(
+                    (w[0].stream(), w[0].tuple.seq) < (w[1].stream(), w[1].tuple.seq),
+                    "tie at {:?} not stream/seq-ordered", w[0].arrival
+                );
+            }
+        }
+
+        // The Interleaver agrees with from_events on the same inputs.
+        let mut il = Interleaver::new();
+        for stream in per_stream {
+            il.add_stream(stream);
+        }
+        prop_assert_eq!(il.merge(), baseline);
+    }
+
     /// The join operator never produces more results than the corresponding
     /// cross join, and its windows never retain expired tuples.
     #[test]

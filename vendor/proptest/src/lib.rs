@@ -136,7 +136,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Anything usable as the size argument of [`vec`]: a fixed length or a
+    /// Anything usable as the size argument of [`vec()`](fn@vec): a fixed length or a
     /// half-open range of lengths.
     pub trait SizeRange {
         /// Picks a concrete length.
@@ -161,7 +161,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,
