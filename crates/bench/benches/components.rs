@@ -1,13 +1,16 @@
-//! Component micro-benchmarks: K-slack, Synchronizer, join operator and the
-//! analytical recall model.
+//! Component micro-benchmarks: K-slack, Synchronizer, join operator (hash
+//! -indexed vs nested-loop scan probes) and the analytical recall model.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mswj_core::{
     CountingSink, DelayHistogram, KSlack, ModelInputs, Pipeline, RecallModel, Synchronizer,
 };
-use mswj_datasets::q3_query;
-use mswj_join::MswjOperator;
-use mswj_types::{ArrivalEvent, Timestamp, Tuple, Value};
+use mswj_datasets::{q3_query, Zipf};
+use mswj_join::{CommonKeyEquiJoin, JoinQuery, MswjOperator, ProbeStrategy};
+use mswj_types::{ArrivalEvent, FieldType, Schema, StreamSet, Timestamp, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
 
 fn kslack_throughput(c: &mut Criterion) {
     c.bench_function("kslack_push_1k", |b| {
@@ -59,6 +62,81 @@ fn operator_throughput(c: &mut Criterion) {
             black_box(results)
         })
     });
+}
+
+/// Hash-indexed bucket probes vs the forced nested-loop scan on a 2-way
+/// equi-join with Zipf-skewed keys (skew 1.0 over 1 000 distinct values),
+/// at steady-state window sizes of 1 k and 10 k live tuples per stream.
+///
+/// The operator persists across iterations: one tuple per stream per
+/// millisecond keeps each window at its steady-state size, so every
+/// measured push probes a full window.  `count_*` benches run the counting
+/// mode (bucket-length products vs exhaustive enumeration); `enum_*`
+/// benches additionally materialize every result on both sides.
+fn indexed_vs_scan(c: &mut Criterion) {
+    fn equi2(window_ms: u64) -> JoinQuery {
+        let streams =
+            StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), window_ms)
+                .unwrap();
+        let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+        JoinQuery::new("bench-equi2", streams, cond).unwrap()
+    }
+    let zipf = Zipf::new(1_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(42);
+    let keys: Vec<i64> = (0..16_384).map(|_| zipf.sample(&mut rng) as i64).collect();
+
+    let mut group = c.benchmark_group("indexed_vs_scan");
+    let cases = [
+        ("count", false, 1_000u64),
+        ("count", false, 10_000),
+        ("enum", true, 10_000),
+    ];
+    for &(mode, enumerate, window_tuples) in &cases {
+        for (label, strategy) in [
+            ("indexed", ProbeStrategy::Auto),
+            ("scan", ProbeStrategy::NestedLoop),
+        ] {
+            group.bench_function(format!("{mode}_{label}_w{window_tuples}"), |b| {
+                let mut op = MswjOperator::with_probe(equi2(window_tuples), strategy, enumerate);
+                let mut t = 0u64;
+                let key_at = {
+                    let keys = keys.clone();
+                    move |i: u64| keys[(i as usize) % keys.len()]
+                };
+                // Prefill both windows to their steady-state population.
+                while t < window_tuples {
+                    for stream in 0..2usize {
+                        let ts = Timestamp::from_millis(t);
+                        op.push(Tuple::new(
+                            stream.into(),
+                            t,
+                            ts,
+                            vec![Value::Int(key_at(t * 2 + stream as u64))],
+                        ));
+                    }
+                    t += 1;
+                }
+                b.iter(|| {
+                    let mut results = 0u64;
+                    for _ in 0..64 {
+                        for stream in 0..2usize {
+                            let ts = Timestamp::from_millis(t);
+                            let outcome = op.push(Tuple::new(
+                                stream.into(),
+                                t,
+                                ts,
+                                vec![Value::Int(key_at(t * 2 + stream as u64))],
+                            ));
+                            results += outcome.n_join;
+                        }
+                        t += 1;
+                    }
+                    black_box(results)
+                })
+            });
+        }
+    }
+    group.finish();
 }
 
 fn pipeline_push_into_throughput(c: &mut Criterion) {
@@ -125,6 +203,6 @@ fn model_evaluation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = kslack_throughput, synchronizer_throughput, operator_throughput, pipeline_push_into_throughput, model_evaluation
+    targets = kslack_throughput, synchronizer_throughput, operator_throughput, indexed_vs_scan, pipeline_push_into_throughput, model_evaluation
 }
 criterion_main!(benches);

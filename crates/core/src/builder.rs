@@ -31,7 +31,9 @@
 use crate::config::{DisorderConfig, SelectivityStrategy};
 use crate::pipeline::Pipeline;
 use crate::policy::BufferPolicy;
-use mswj_join::{CommonKeyEquiJoin, CrossJoin, JoinCondition, JoinQuery, PredicateFn};
+use mswj_join::{
+    CommonKeyEquiJoin, CrossJoin, JoinCondition, JoinQuery, PredicateFn, ProbeStrategy,
+};
 use mswj_types::{Duration, Error, Result, Schema, StreamSet, StreamSpec, Tuple};
 use std::sync::Arc;
 
@@ -98,6 +100,7 @@ pub struct SessionBuilder {
     policy: Option<BufferPolicy>,
     overrides: ConfigOverrides,
     materialize: bool,
+    probe: ProbeStrategy,
 }
 
 impl Default for SessionBuilder {
@@ -115,6 +118,7 @@ impl std::fmt::Debug for SessionBuilder {
             .field("has_condition", &self.condition.is_some())
             .field("policy", &self.policy.as_ref().map(|p| p.name()))
             .field("materialize", &self.materialize)
+            .field("probe", &self.probe)
             .finish()
     }
 }
@@ -130,6 +134,7 @@ impl SessionBuilder {
             policy: None,
             overrides: ConfigOverrides::default(),
             materialize: false,
+            probe: ProbeStrategy::default(),
         }
     }
 
@@ -286,6 +291,26 @@ impl SessionBuilder {
         self
     }
 
+    /// Chooses how the join operator probes the other streams' windows.
+    ///
+    /// The default, [`ProbeStrategy::Auto`], plans hash-indexed bucket
+    /// lookups whenever the condition exposes an equi structure — the
+    /// indexed columns are derived at `build()` time with no further user
+    /// ceremony — and falls back to the exhaustive scan per probe when
+    /// index soundness cannot be guaranteed.  [`ProbeStrategy::NestedLoop`]
+    /// forces the reference scan unconditionally.
+    pub fn probe(mut self, strategy: ProbeStrategy) -> Self {
+        self.probe = strategy;
+        self
+    }
+
+    /// Forces the exhaustive nested-loop probe — shorthand for
+    /// `.probe(ProbeStrategy::NestedLoop)`, used by the differential test
+    /// harness as the reference implementation.
+    pub fn nested_loop_probe(self) -> Self {
+        self.probe(ProbeStrategy::NestedLoop)
+    }
+
     /// Validates the declaration and constructs the [`Pipeline`].
     ///
     /// # Errors
@@ -325,7 +350,7 @@ impl SessionBuilder {
                 JoinQuery::new(self.name, streams, condition)?
             }
         };
-        Pipeline::construct(query, policy, self.materialize)
+        Pipeline::construct(query, policy, self.materialize, self.probe)
     }
 
     /// Resolves the effective policy from the explicit choice plus the
@@ -574,6 +599,33 @@ mod tests {
             .no_k_slack()
             .build();
         assert_invalid(r, "mutually exclusive");
+    }
+
+    #[test]
+    fn probe_strategy_is_wired_through_build() {
+        let base = || {
+            SessionBuilder::new()
+                .streams(2, schema(), 1_000)
+                .on_common_key("a1")
+                .no_k_slack()
+        };
+        let indexed = base().build().unwrap();
+        assert!(
+            indexed.probe_plan().is_indexed(),
+            "equi-joins default to the hash-indexed probe"
+        );
+        let scan = base().nested_loop_probe().build().unwrap();
+        assert!(!scan.probe_plan().is_indexed());
+        let explicit = base().probe(ProbeStrategy::Auto).build().unwrap();
+        assert!(explicit.probe_plan().is_indexed());
+        // A UDF condition has no equi structure to plan from.
+        let udf = SessionBuilder::new()
+            .streams(2, schema(), 1_000)
+            .on_predicate("always", |_| true)
+            .no_k_slack()
+            .build()
+            .unwrap();
+        assert!(!udf.probe_plan().is_indexed());
     }
 
     #[test]

@@ -5,9 +5,19 @@
 //! parameters*: the adaptation interval `L`, the basic-window size `b` and
 //! the K-search granularity `g` (Table I and Sec. VI, *Default Parameter
 //! Configuration*).
+//!
+//! Orthogonally to the disorder parameters, a session chooses a
+//! [`ProbeStrategy`] for the join operator's window probes (re-exported
+//! here from `mswj-join`): [`ProbeStrategy::Auto`] plans hash-indexed
+//! bucket lookups from the condition's equi structure, while
+//! [`ProbeStrategy::NestedLoop`] forces the exhaustive reference scan —
+//! the knob the differential test harness uses to prove both paths
+//! equivalent.  See [`SessionBuilder::probe`](crate::SessionBuilder::probe).
 
 use mswj_types::{Duration, Error, Result};
 use serde::{Deserialize, Serialize};
+
+pub use mswj_join::{ProbePlan, ProbeStrategy};
 
 /// How the ratio `sel_on(K) / sel_on` of Eq. 5 is modelled (Sec. IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]

@@ -74,7 +74,7 @@ pub mod synchronizer;
 
 pub use adaptation::{AdaptationOutcome, BufferSizeManager};
 pub use builder::SessionBuilder;
-pub use config::{DisorderConfig, SelectivityStrategy};
+pub use config::{DisorderConfig, ProbePlan, ProbeStrategy, SelectivityStrategy};
 pub use kslack::{KSlack, KSlackStats};
 pub use model::{ModelInputs, RecallModel};
 pub use output::{Checkpoint, OutputEvent, RunReport};

@@ -39,7 +39,7 @@ use crate::result_monitor::ResultSizeMonitor;
 use crate::sink::{NullSink, Sink};
 use crate::statistics::StatisticsManager;
 use crate::synchronizer::Synchronizer;
-use mswj_join::{JoinQuery, MswjOperator};
+use mswj_join::{JoinQuery, MswjOperator, OperatorStats, ProbePlan, ProbeStrategy};
 use mswj_types::{ArrivalEvent, Duration, Result, StreamIndex, Timestamp, Tuple};
 
 /// The quality-driven disorder-handling pipeline for one MSWJ query.
@@ -97,13 +97,14 @@ impl Pipeline {
     /// uses.  Sessions that want [`OutputEvent::Result`] events are built
     /// via [`SessionBuilder::materialize_results`].
     pub fn new(query: JoinQuery, policy: BufferPolicy) -> Result<Self> {
-        Self::construct(query, policy, false)
+        Self::construct(query, policy, false, ProbeStrategy::Auto)
     }
 
     pub(crate) fn construct(
         query: JoinQuery,
         policy: BufferPolicy,
         materialize: bool,
+        probe: ProbeStrategy,
     ) -> Result<Self> {
         let config: DisorderConfig = policy.config().copied().unwrap_or_default();
         config.validate()?;
@@ -116,11 +117,7 @@ impl Pipeline {
             BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
-        let operator = if materialize {
-            MswjOperator::enumerating(query.clone())
-        } else {
-            MswjOperator::new(query.clone())
-        };
+        let operator = MswjOperator::with_probe(query.clone(), probe, materialize);
         Ok(Pipeline {
             kslacks: (0..m).map(|_| KSlack::new(initial_k)).collect(),
             synchronizer: Synchronizer::new(m),
@@ -170,6 +167,19 @@ impl Pipeline {
     /// [`OutputEvent::Result`] events).
     pub fn is_materializing(&self) -> bool {
         self.operator.is_enumerating()
+    }
+
+    /// The probe access path the join operator planned from the condition's
+    /// equi structure (hash-indexed common-key/star lookups, or the
+    /// exhaustive nested loop).
+    pub fn probe_plan(&self) -> &ProbePlan {
+        self.operator.probe_plan()
+    }
+
+    /// The join operator's lifetime counters so far — including how many
+    /// probes used the hash-indexed path versus the nested-loop fallback.
+    pub fn operator_stats(&self) -> OperatorStats {
+        self.operator.stats()
     }
 
     /// Access to the runtime statistics manager (mainly for tests).

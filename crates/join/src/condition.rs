@@ -50,6 +50,17 @@ pub trait JoinCondition: Send + Sync {
     fn matches(&self, tuples: &[&Tuple]) -> bool;
 
     /// Structural equi-join description, if the condition has one.
+    ///
+    /// # Contract
+    ///
+    /// A returned structure must characterize [`JoinCondition::matches`]
+    /// **exactly**: a combination satisfies `matches` if and only if it
+    /// satisfies the described equalities (under
+    /// [`Value::join_eq`](mswj_types::Value::join_eq) semantics).  The
+    /// operator plans hash-indexed probes and index-based result counting
+    /// from this structure without re-evaluating `matches`, so a condition
+    /// that checks anything beyond the described equalities must return
+    /// `None` here and accept nested-loop evaluation.
     fn equi_structure(&self) -> Option<EquiStructure> {
         None
     }

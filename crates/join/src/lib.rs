@@ -1,12 +1,19 @@
 //! # mswj-join — m-way sliding window join substrate
 //!
 //! This crate implements the join-side machinery the ICDE'16 paper builds
-//! on: time-based sliding windows with per-column count indexes, join
-//! conditions ranging from cross joins to user-defined predicates, and an
-//! MJoin-style m-way sliding window join operator implementing Alg. 2 of the
-//! paper (in-order tuples probe the windows of all other streams and produce
-//! results; out-of-order tuples are inserted without probing and therefore
-//! lose their results).
+//! on: time-based sliding windows with value→tuple hash indexes on their
+//! equi-join columns, join conditions ranging from cross joins to
+//! user-defined predicates, and an MJoin-style m-way sliding window join
+//! operator implementing Alg. 2 of the paper (in-order tuples probe the
+//! windows of all other streams and produce results; out-of-order tuples
+//! are inserted without probing and therefore lose their results).
+//!
+//! Probing is planned from the condition's [`EquiStructure`] (see
+//! [`planner`]): common-key and star equi-joins look up only the matching
+//! hash bucket in every other window, with an automatic per-probe fallback
+//! to the exhaustive nested-loop scan whenever index soundness cannot be
+//! guaranteed — so arbitrary conditions and mixed-type key columns remain
+//! exactly as correct as before, just slower.
 //!
 //! The operator reports, for every processed tuple, both the number of
 //! actual join results `n_on(e)` and the size of the corresponding
@@ -18,6 +25,7 @@
 
 pub mod condition;
 pub mod operator;
+pub mod planner;
 pub mod query;
 pub mod result;
 pub mod window;
@@ -27,6 +35,7 @@ pub use condition::{
     PredicateFn, StarEquiJoin,
 };
 pub use operator::{MswjOperator, OperatorStats, ProbeOutcome};
+pub use planner::{ProbePlan, ProbeStrategy};
 pub use query::JoinQuery;
 pub use result::JoinResult;
 pub use window::{Window, WindowStats};

@@ -14,16 +14,28 @@
 //!    within the window's current scope so that it can contribute to future
 //!    results.
 //!
+//! ## Probe access paths
+//!
+//! How step 1 searches the other windows is decided by a [`ProbePlan`]
+//! (see [`planner`](crate::planner)): equi-join conditions probe through
+//! the windows' value→tuple hash indexes — each lookup touches only the
+//! bucket of tuples that can still satisfy the join — while generic
+//! conditions (and any probe whose index soundness cannot be guaranteed)
+//! use the exhaustive nested-loop scan.  Both paths are proven equivalent
+//! by the differential harness in `tests/differential_probe.rs`.
+//!
 //! For every processed tuple the operator reports the number of produced
 //! join results `n_on(e)` and the corresponding cross-join size `n_x(e)`;
 //! the Tuple-Productivity Profiler consumes these to learn the
 //! delay-productivity correlation (Sec. IV-B).
 
-use crate::condition::{EquiStructure, JoinCondition};
+use crate::condition::JoinCondition;
+use crate::planner::{ProbePlan, ProbeStrategy};
 use crate::query::JoinQuery;
 use crate::result::JoinResult;
-use crate::window::Window;
+use crate::window::{classify, KeyClass, Window};
 use mswj_types::{StreamIndex, Timestamp, Tuple, Value};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// What happened when one tuple was pushed into the operator.
@@ -38,6 +50,11 @@ pub struct ProbeOutcome {
     /// Whether the tuple was inserted into its window (out-of-order tuples
     /// that already fell out of the window scope are dropped).
     pub inserted: bool,
+    /// Whether the probe was answered without scanning the other windows:
+    /// through hash-index bucket lookups, or short-circuited because the
+    /// probing key can never join (`Null`/missing).  `false` for
+    /// nested-loop scans and for out-of-order (non-probing) arrivals.
+    pub indexed: bool,
     /// Number of join results derived at this arrival (`n_on(e)`); zero for
     /// out-of-order tuples.
     pub n_join: u64,
@@ -59,6 +76,13 @@ pub struct OperatorStats {
     /// Out-of-order tuples that were too old to be inserted into their
     /// window and were dropped entirely.
     pub dropped: u64,
+    /// Probing arrivals answered through the hash-indexed probe path
+    /// (bucket lookups or barren-key short-circuits).
+    pub indexed_probes: u64,
+    /// Probing arrivals that used the exhaustive nested-loop scan — either
+    /// because the plan is [`ProbePlan::NestedLoop`] or because index
+    /// soundness could not be guaranteed for that probe.
+    pub fallback_probes: u64,
     /// Total join results produced.
     pub results: u64,
     /// Total cross-join combinations corresponding to probing arrivals.
@@ -67,11 +91,26 @@ pub struct OperatorStats {
     pub expired: u64,
 }
 
+/// Per-probe decision of the indexed access path.
+enum Gate {
+    /// Hash lookups are provably equivalent to the scan for this probe.
+    /// Carries the probe's own bucket key (0 for anchor probes, which read
+    /// one key per satellite from the probing tuple instead).
+    Engage(i64),
+    /// The probing tuple's key is `Null` or missing: no combination can
+    /// satisfy the equi-join, so the probe derives zero results without
+    /// touching any window.
+    Barren,
+    /// Equivalence cannot be guaranteed (non-integer key values in play):
+    /// the probe must use the exhaustive nested-loop scan.
+    Fallback,
+}
+
 /// The m-way sliding window join operator.
 pub struct MswjOperator {
     query: JoinQuery,
     condition: Arc<dyn JoinCondition>,
-    equi: Option<EquiStructure>,
+    plan: ProbePlan,
     windows: Vec<Window>,
     on_t: Timestamp,
     started: bool,
@@ -83,6 +122,7 @@ impl std::fmt::Debug for MswjOperator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MswjOperator")
             .field("query", &self.query)
+            .field("plan", &self.plan.describe())
             .field("on_t", &self.on_t)
             .field("enumerate", &self.enumerate)
             .field("stats", &self.stats)
@@ -92,39 +132,41 @@ impl std::fmt::Debug for MswjOperator {
 
 impl MswjOperator {
     /// Creates an operator that **counts** join results without
-    /// materializing them.  Counting uses the windows' per-column count
-    /// indexes when the join condition is an equi-join, which makes the
-    /// paper-scale workloads tractable.
+    /// materializing them.  Counting uses the windows' hash indexes when
+    /// the join condition is an equi-join, which makes the paper-scale
+    /// workloads tractable.
     pub fn new(query: JoinQuery) -> Self {
-        Self::build(query, false)
+        Self::build(query, false, ProbeStrategy::Auto)
     }
 
     /// Creates an operator that additionally **materializes** every result
     /// tuple.  Intended for small-scale runs, examples and tests.
     pub fn enumerating(query: JoinQuery) -> Self {
-        Self::build(query, true)
+        Self::build(query, true, ProbeStrategy::Auto)
     }
 
-    fn build(query: JoinQuery, enumerate: bool) -> Self {
+    /// Creates an operator with an explicit [`ProbeStrategy`] —
+    /// [`ProbeStrategy::NestedLoop`] forces the exhaustive scan even for
+    /// equi-joins, which is what the differential test harness compares
+    /// the indexed path against.
+    pub fn with_probe(query: JoinQuery, strategy: ProbeStrategy, enumerate: bool) -> Self {
+        Self::build(query, enumerate, strategy)
+    }
+
+    fn build(query: JoinQuery, enumerate: bool, strategy: ProbeStrategy) -> Self {
         let condition = Arc::clone(query.condition());
         let equi = condition.equi_structure();
+        let plan = ProbePlan::new(strategy, equi.as_ref());
         let m = query.arity();
         let mut windows = Vec::with_capacity(m);
         for i in 0..m {
             let size = query.window(StreamIndex(i));
-            let indexed = match &equi {
-                Some(EquiStructure::CommonKey { columns }) => vec![columns[i]],
-                Some(EquiStructure::Star {
-                    anchor, other_cols, ..
-                }) if i != *anchor => vec![other_cols[i]],
-                _ => vec![],
-            };
-            windows.push(Window::with_indexed_columns(size, &indexed));
+            windows.push(Window::with_indexed_columns(size, &plan.indexed_columns(i)));
         }
         MswjOperator {
             query,
             condition,
-            equi,
+            plan,
             windows,
             on_t: Timestamp::ZERO,
             started: false,
@@ -136,6 +178,11 @@ impl MswjOperator {
     /// The query this operator executes.
     pub fn query(&self) -> &JoinQuery {
         &self.query
+    }
+
+    /// The probe access path planned from the condition's equi structure.
+    pub fn probe_plan(&self) -> &ProbePlan {
+        &self.plan
     }
 
     /// The maximum timestamp among tuples received so far (`onT`).
@@ -158,7 +205,7 @@ impl MswjOperator {
         self.enumerate
     }
 
-    /// Clears every window and resets `onT`, keeping the query.
+    /// Clears every window and resets `onT`, keeping the query and plan.
     pub fn reset(&mut self) {
         for w in &mut self.windows {
             w.clear();
@@ -206,18 +253,25 @@ impl MswjOperator {
             outcome.n_cross = self.cross_size(i);
             if self.enumerate {
                 let mut n_join = 0u64;
-                self.for_each_combination(i, &tuple, &mut |combo| {
+                outcome.indexed = self.probe_enumerate(i, &tuple, &mut |combo| {
                     n_join += 1;
                     emit(JoinResult::new(combo.iter().map(|&t| t.clone()).collect()));
                 });
                 outcome.n_join = n_join;
             } else {
-                outcome.n_join = self.count_results(i, &tuple);
+                let (n_join, indexed) = self.probe_count(i, &tuple);
+                outcome.n_join = n_join;
+                outcome.indexed = indexed;
             }
             // Step 3: insert into own window.
             self.windows[i].insert(tuple);
             outcome.inserted = true;
             self.stats.in_order += 1;
+            if outcome.indexed {
+                self.stats.indexed_probes += 1;
+            } else {
+                self.stats.fallback_probes += 1;
+            }
             self.stats.results += outcome.n_join;
             self.stats.cross_results += outcome.n_cross;
             self.stats.expired += outcome.expired as u64;
@@ -247,86 +301,198 @@ impl MswjOperator {
             .product()
     }
 
-    /// Index-assisted (or enumerated) count of the join results derived by a
-    /// probing tuple of stream `i`.
-    fn count_results(&self, i: usize, tuple: &Tuple) -> u64 {
-        match &self.equi {
-            Some(EquiStructure::CommonKey { columns }) => {
-                let key = match tuple.value(columns[i]).and_then(int_key) {
-                    Some(k) => k,
-                    None => return 0,
-                };
-                let mut product = 1u64;
-                for (j, w) in self.windows.iter().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    let c = w.count_key(columns[j], key);
-                    if c == 0 {
-                        return 0;
-                    }
-                    product = product.saturating_mul(c);
-                }
-                product
+    // ------------------------------------------------------------------
+    // Per-probe gates: when is the indexed path provably equivalent?
+    // ------------------------------------------------------------------
+
+    /// Classifies the probing tuple's own key value, with the same
+    /// [`KeyClass`] rules the windows use for index maintenance — the gate
+    /// is only sound because the two sides agree case-for-case.
+    fn classify_probe(v: Option<&Value>) -> Gate {
+        match classify(v) {
+            // Null/missing keys fail every join_eq comparison.
+            KeyClass::Inert => Gate::Barren,
+            KeyClass::Key(k) => Gate::Engage(k),
+            // Floats can equal integers under join_eq's numeric coercion,
+            // and strings/bools can equal their own kind in other windows —
+            // neither is answerable from the i64 buckets.
+            KeyClass::Unindexable => Gate::Fallback,
+        }
+    }
+
+    fn common_key_gate(&self, i: usize, tuple: &Tuple, columns: &[usize]) -> Gate {
+        let key = match Self::classify_probe(tuple.value(columns[i])) {
+            Gate::Engage(k) => k,
+            other => return other,
+        };
+        for (j, w) in self.windows.iter().enumerate() {
+            if j != i && !w.index_usable(columns[j]) {
+                return Gate::Fallback;
             }
-            Some(EquiStructure::Star {
-                anchor,
-                anchor_cols,
-                other_cols,
-            }) => {
-                if i == *anchor {
+        }
+        Gate::Engage(key)
+    }
+
+    fn star_anchor_gate(&self, anchor: usize, tuple: &Tuple, cols: &StarCols<'_>) -> Gate {
+        let mut fallback = false;
+        for j in 0..self.windows.len() {
+            if j == anchor {
+                continue;
+            }
+            match Self::classify_probe(tuple.value(cols.anchor_cols[j])) {
+                // A Null/missing pair key fails every combination outright,
+                // regardless of any soundness concern elsewhere.
+                Gate::Barren => return Gate::Barren,
+                Gate::Fallback => fallback = true,
+                Gate::Engage(_) => {}
+            }
+            if !self.windows[j].index_usable(cols.other_cols[j]) {
+                fallback = true;
+            }
+        }
+        if fallback {
+            Gate::Fallback
+        } else {
+            Gate::Engage(0)
+        }
+    }
+
+    fn star_satellite_gate(
+        &self,
+        i: usize,
+        anchor: usize,
+        tuple: &Tuple,
+        cols: &StarCols<'_>,
+    ) -> Gate {
+        let key = match Self::classify_probe(tuple.value(cols.other_cols[i])) {
+            Gate::Engage(k) => k,
+            other => return other,
+        };
+        // The anchor window must be sound on *every* anchor-side column:
+        // on anchor_cols[i] for the bucket lookup itself, and on the other
+        // pair columns so that skipping non-integer anchor values (which
+        // are then provably inert) is equivalent to the scan.
+        for j in 0..self.windows.len() {
+            if j == anchor {
+                continue;
+            }
+            if !self.windows[anchor].index_usable(cols.anchor_cols[j]) {
+                return Gate::Fallback;
+            }
+            if j != i && !self.windows[j].index_usable(cols.other_cols[j]) {
+                return Gate::Fallback;
+            }
+        }
+        Gate::Engage(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Counting probes
+    // ------------------------------------------------------------------
+
+    /// Index-assisted (or enumerated) count of the join results derived by
+    /// a probing tuple of stream `i`; the flag reports whether the probe
+    /// avoided a window scan.
+    fn probe_count(&self, i: usize, tuple: &Tuple) -> (u64, bool) {
+        match &self.plan {
+            ProbePlan::CommonKey { columns } => match self.common_key_gate(i, tuple, columns) {
+                Gate::Engage(key) => {
                     let mut product = 1u64;
                     for (j, w) in self.windows.iter().enumerate() {
-                        if j == *anchor {
+                        if j == i {
                             continue;
                         }
-                        let key = match tuple.value(anchor_cols[j]).and_then(int_key) {
-                            Some(k) => k,
-                            None => return 0,
-                        };
-                        let c = w.count_key(other_cols[j], key);
+                        let c = w.count_key(columns[j], key);
                         if c == 0 {
-                            return 0;
+                            return (0, true);
                         }
                         product = product.saturating_mul(c);
                     }
-                    product
-                } else {
-                    // Probing tuple belongs to a satellite stream: iterate the
-                    // anchor tuples that match it and multiply the counts of
-                    // the remaining satellites for each.
-                    let own_key = match tuple.value(other_cols[i]).and_then(int_key) {
-                        Some(k) => k,
-                        None => return 0,
-                    };
-                    let mut total = 0u64;
-                    'anchor: for a in self.windows[*anchor].iter() {
-                        match a.value(anchor_cols[i]).and_then(int_key) {
-                            Some(k) if k == own_key => {}
-                            _ => continue,
-                        }
-                        let mut product = 1u64;
-                        for (k, w) in self.windows.iter().enumerate() {
-                            if k == *anchor || k == i {
-                                continue;
+                    (product, true)
+                }
+                Gate::Barren => (0, true),
+                Gate::Fallback => (self.enumerate_count(i, tuple), false),
+            },
+            ProbePlan::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            } => {
+                let cols = StarCols {
+                    anchor_cols,
+                    other_cols,
+                };
+                if i == *anchor {
+                    match self.star_anchor_gate(*anchor, tuple, &cols) {
+                        Gate::Engage(_) => {
+                            let mut product = 1u64;
+                            for (j, w) in self.windows.iter().enumerate() {
+                                if j == *anchor {
+                                    continue;
+                                }
+                                let key = tuple
+                                    .value(anchor_cols[j])
+                                    .and_then(Value::as_int)
+                                    .expect("gate guarantees integer pair keys");
+                                let c = w.count_key(other_cols[j], key);
+                                if c == 0 {
+                                    return (0, true);
+                                }
+                                product = product.saturating_mul(c);
                             }
-                            let key = match a.value(anchor_cols[k]).and_then(int_key) {
-                                Some(v) => v,
-                                None => continue 'anchor,
-                            };
-                            let c = w.count_key(other_cols[k], key);
-                            if c == 0 {
-                                continue 'anchor;
-                            }
-                            product = product.saturating_mul(c);
+                            (product, true)
                         }
-                        total = total.saturating_add(product);
+                        Gate::Barren => (0, true),
+                        Gate::Fallback => (self.enumerate_count(i, tuple), false),
                     }
-                    total
+                } else {
+                    match self.star_satellite_gate(i, *anchor, tuple, &cols) {
+                        Gate::Engage(own_key) => {
+                            (self.count_star_satellite(i, *anchor, own_key, &cols), true)
+                        }
+                        Gate::Barren => (0, true),
+                        Gate::Fallback => (self.enumerate_count(i, tuple), false),
+                    }
                 }
             }
-            None => self.enumerate_count(i, tuple),
+            ProbePlan::NestedLoop => (self.enumerate_count(i, tuple), false),
         }
+    }
+
+    /// Satellite-probe counting: walk only the anchor tuples in the
+    /// matching bucket and multiply the other satellites' bucket sizes.
+    fn count_star_satellite(
+        &self,
+        i: usize,
+        anchor: usize,
+        own_key: i64,
+        cols: &StarCols<'_>,
+    ) -> u64 {
+        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
+            return 0;
+        };
+        let mut total = 0u64;
+        'anchor: for a in anchor_bucket {
+            let mut product = 1u64;
+            for (k, w) in self.windows.iter().enumerate() {
+                if k == anchor || k == i {
+                    continue;
+                }
+                // The gate proved the anchor window sound on this column,
+                // so a non-integer value here is inert and never joins.
+                let key = match a.value(cols.anchor_cols[k]).and_then(Value::as_int) {
+                    Some(v) => v,
+                    None => continue 'anchor,
+                };
+                let c = w.count_key(cols.other_cols[k], key);
+                if c == 0 {
+                    continue 'anchor;
+                }
+                product = product.saturating_mul(c);
+            }
+            total = total.saturating_add(product);
+        }
+        total
     }
 
     /// Nested-loop count of matching combinations for arbitrary conditions.
@@ -334,6 +500,154 @@ impl MswjOperator {
         let mut count = 0u64;
         self.for_each_combination(i, tuple, &mut |_| count += 1);
         count
+    }
+
+    // ------------------------------------------------------------------
+    // Enumerating probes
+    // ------------------------------------------------------------------
+
+    /// Invokes `f` for every matching combination (one live tuple per other
+    /// stream plus the probing tuple at position `i`), choosing the indexed
+    /// bucket walk when the gate allows it and the exhaustive scan
+    /// otherwise.  Returns whether a window scan was avoided.
+    fn probe_enumerate<'a>(
+        &'a self,
+        i: usize,
+        tuple: &'a Tuple,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) -> bool {
+        match &self.plan {
+            ProbePlan::CommonKey { columns } => match self.common_key_gate(i, tuple, columns) {
+                Gate::Engage(key) => {
+                    self.enumerate_common_key(i, tuple, columns, key, f);
+                    true
+                }
+                Gate::Barren => true,
+                Gate::Fallback => {
+                    self.for_each_combination(i, tuple, f);
+                    false
+                }
+            },
+            ProbePlan::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            } => {
+                let cols = StarCols {
+                    anchor_cols,
+                    other_cols,
+                };
+                let gate = if i == *anchor {
+                    self.star_anchor_gate(*anchor, tuple, &cols)
+                } else {
+                    self.star_satellite_gate(i, *anchor, tuple, &cols)
+                };
+                match gate {
+                    Gate::Engage(own_key) => {
+                        if i == *anchor {
+                            self.enumerate_star_anchor(i, tuple, &cols, f);
+                        } else {
+                            self.enumerate_star_satellite(i, *anchor, tuple, own_key, &cols, f);
+                        }
+                        true
+                    }
+                    Gate::Barren => true,
+                    Gate::Fallback => {
+                        self.for_each_combination(i, tuple, f);
+                        false
+                    }
+                }
+            }
+            ProbePlan::NestedLoop => {
+                self.for_each_combination(i, tuple, f);
+                false
+            }
+        }
+    }
+
+    fn enumerate_common_key<'a>(
+        &'a self,
+        i: usize,
+        tuple: &'a Tuple,
+        columns: &[usize],
+        key: i64,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let m = self.windows.len();
+        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
+        for (j, w) in self.windows.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            match w.bucket(columns[j], key) {
+                Some(bucket) => levels.push((j, bucket)),
+                None => return, // one empty bucket kills every combination
+            }
+        }
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        emit_product(&levels, &mut slots, f);
+    }
+
+    fn enumerate_star_anchor<'a>(
+        &'a self,
+        anchor: usize,
+        tuple: &'a Tuple,
+        cols: &StarCols<'_>,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let m = self.windows.len();
+        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
+        for (j, w) in self.windows.iter().enumerate() {
+            if j == anchor {
+                continue;
+            }
+            let key = tuple
+                .value(cols.anchor_cols[j])
+                .and_then(Value::as_int)
+                .expect("gate guarantees integer pair keys");
+            match w.bucket(cols.other_cols[j], key) {
+                Some(bucket) => levels.push((j, bucket)),
+                None => return,
+            }
+        }
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        emit_product(&levels, &mut slots, f);
+    }
+
+    fn enumerate_star_satellite<'a>(
+        &'a self,
+        i: usize,
+        anchor: usize,
+        tuple: &'a Tuple,
+        own_key: i64,
+        cols: &StarCols<'_>,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
+            return;
+        };
+        let m = self.windows.len();
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m.saturating_sub(2));
+        'anchor: for a in anchor_bucket {
+            levels.clear();
+            for (k, w) in self.windows.iter().enumerate() {
+                if k == anchor || k == i {
+                    continue;
+                }
+                // Sound anchor column: non-integer values are inert here.
+                let key = match a.value(cols.anchor_cols[k]).and_then(Value::as_int) {
+                    Some(v) => v,
+                    None => continue 'anchor,
+                };
+                match w.bucket(cols.other_cols[k], key) {
+                    Some(bucket) => levels.push((k, bucket)),
+                    None => continue 'anchor,
+                }
+            }
+            slots[anchor] = a;
+            emit_product(&levels, &mut slots, f);
+        }
     }
 
     /// Invokes `f` for every combination of one live tuple per other stream
@@ -376,11 +690,29 @@ impl MswjOperator {
     }
 }
 
-fn int_key(v: &Value) -> Option<i64> {
-    match v {
-        Value::Int(i) => Some(*i),
-        Value::Bool(b) => Some(*b as i64),
-        _ => None,
+/// The two column maps of a star plan, bundled to keep signatures short.
+struct StarCols<'a> {
+    anchor_cols: &'a [usize],
+    other_cols: &'a [usize],
+}
+
+/// Emits the cross product of the given buckets into `slots` (one level per
+/// stream position), invoking `f` once per complete combination.  The plan
+/// gates guarantee every combination reached here satisfies the equi-join,
+/// so the condition is not re-evaluated.
+fn emit_product<'a>(
+    levels: &[(usize, &'a VecDeque<Tuple>)],
+    slots: &mut Vec<&'a Tuple>,
+    f: &mut dyn FnMut(&[&'a Tuple]),
+) {
+    match levels.split_first() {
+        None => f(slots),
+        Some((&(j, bucket), rest)) => {
+            for t in bucket {
+                slots[j] = t;
+                emit_product(rest, slots, f);
+            }
+        }
     }
 }
 
@@ -404,6 +736,33 @@ mod tests {
             Timestamp::from_millis(ts),
             vec![Value::Int(key)],
         )
+    }
+
+    fn star_query() -> JoinQuery {
+        let streams = StreamSet::new(vec![
+            StreamSpec::new(
+                "S1",
+                Schema::new(vec![
+                    ("a1", FieldType::Int),
+                    ("a2", FieldType::Int),
+                    ("a3", FieldType::Int),
+                ]),
+                10_000,
+            ),
+            StreamSpec::new("S2", Schema::new(vec![("a1", FieldType::Int)]), 10_000),
+            StreamSpec::new("S3", Schema::new(vec![("a2", FieldType::Int)]), 10_000),
+            StreamSpec::new("S4", Schema::new(vec![("a3", FieldType::Int)]), 10_000),
+        ])
+        .unwrap();
+        let cond = Arc::new(
+            StarEquiJoin::new(
+                &streams,
+                0,
+                &[(1, "a1", "a1"), (2, "a2", "a2"), (3, "a3", "a3")],
+            )
+            .unwrap(),
+        );
+        JoinQuery::new("star", streams, cond).unwrap()
     }
 
     #[test]
@@ -463,6 +822,7 @@ mod tests {
             assert_eq!(a.n_join, b.n_join);
             assert_eq!(a.n_cross, b.n_cross);
             assert_eq!(b.n_join as usize, materialized.len());
+            assert!(a.indexed && b.indexed, "clean int keys must stay indexed");
             total_counting += a.n_join;
             total_enumerated += materialized.len() as u64;
         }
@@ -471,6 +831,79 @@ mod tests {
         assert!(total_counting >= 4);
         assert!(!counting.is_enumerating());
         assert!(enumerating.is_enumerating());
+        assert_eq!(counting.stats().fallback_probes, 0);
+        assert_eq!(counting.stats().indexed_probes, counting.stats().in_order);
+    }
+
+    #[test]
+    fn forced_nested_loop_produces_identical_results() {
+        let query = equi_query(3, 5_000);
+        let mut indexed = MswjOperator::with_probe(query.clone(), ProbeStrategy::Auto, true);
+        let mut scan = MswjOperator::with_probe(query, ProbeStrategy::NestedLoop, true);
+        assert!(indexed.probe_plan().is_indexed());
+        assert_eq!(*scan.probe_plan(), ProbePlan::NestedLoop);
+        for s in 0..60u64 {
+            let t = tup((s % 3) as usize, s, s * 7, (s % 4) as i64);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let ra = indexed.push_with(t.clone(), &mut |r| a.push(r.to_string()));
+            let rb = scan.push_with(t, &mut |r| b.push(r.to_string()));
+            assert_eq!(ra.n_join, rb.n_join);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "indexed and scan probes must emit the same multiset");
+        }
+        assert!(indexed.stats().indexed_probes > 0);
+        assert_eq!(indexed.stats().fallback_probes, 0);
+        assert_eq!(scan.stats().indexed_probes, 0);
+        assert!(scan.stats().results > 0);
+    }
+
+    #[test]
+    fn float_keys_fall_back_and_keep_numeric_equality() {
+        // join_eq equates Int(4) with Float(4.0); the hash index cannot see
+        // that, so such probes must fall back to the scan — on both sides.
+        let query = equi_query(2, 10_000);
+        let mut op = MswjOperator::enumerating(query);
+        let float_tuple = Tuple::new(
+            1.into(),
+            0,
+            Timestamp::from_millis(10),
+            vec![Value::Float(4.0)],
+        );
+        let r = op.push(float_tuple);
+        assert!(!r.indexed, "a float probe key cannot use the index");
+        // The float tuple now poisons S2's window: an Int(4) probe must
+        // fall back and still find the numeric match.
+        let r = op.push(tup(0, 0, 20, 4));
+        assert!(!r.indexed);
+        assert_eq!(r.n_join, 1, "Int(4) joins Float(4.0) numerically");
+        // Once the float expires, integer probes engage the index again.
+        op.push(tup(1, 1, 30_000, 4));
+        let r = op.push(tup(0, 1, 30_010, 4));
+        assert!(r.indexed);
+        assert_eq!(r.n_join, 1);
+        assert_eq!(op.stats().fallback_probes, 2);
+    }
+
+    #[test]
+    fn null_probe_keys_short_circuit() {
+        let query = equi_query(2, 10_000);
+        let mut indexed = MswjOperator::enumerating(query.clone());
+        let mut scan = MswjOperator::with_probe(query, ProbeStrategy::NestedLoop, true);
+        for op in [&mut indexed, &mut scan] {
+            op.push(tup(1, 0, 0, 1));
+        }
+        let null_probe = Tuple::new(0.into(), 0, Timestamp::from_millis(10), vec![Value::Null]);
+        let ra = indexed.push(null_probe.clone());
+        let rb = scan.push(null_probe);
+        assert_eq!(ra.n_join, 0);
+        assert_eq!(rb.n_join, 0);
+        assert!(ra.indexed, "a barren probe is answered without scanning");
+        // Null tuples sit inertly in the window without disabling the index.
+        let r = indexed.push(tup(1, 1, 20, 1));
+        assert!(r.indexed);
+        assert_eq!(r.n_join, 0, "Null never joins");
     }
 
     #[test]
@@ -483,11 +916,14 @@ mod tests {
         let late = op.push(tup(1, 1, 200, 7));
         assert!(!late.in_order);
         assert_eq!(late.n_join, 0);
+        assert!(!late.indexed, "non-probing arrivals are not indexed probes");
         assert!(late.inserted);
         // A later S1 tuple joins both S2 tuples.
         let r = op.push(tup(0, 1, 600, 7));
         assert_eq!(r.n_join, 2);
         assert_eq!(op.stats().results, 3);
+        let s = op.stats();
+        assert_eq!(s.indexed_probes + s.fallback_probes, s.in_order);
     }
 
     #[test]
@@ -523,6 +959,7 @@ mod tests {
         let cond = Arc::new(CrossJoin::new(3));
         let query = JoinQuery::new("cross", streams, cond).unwrap();
         let mut op = MswjOperator::new(query);
+        assert_eq!(*op.probe_plan(), ProbePlan::NestedLoop);
         op.push(tup(0, 0, 0, 1));
         op.push(tup(0, 1, 1, 2));
         op.push(tup(1, 0, 2, 3));
@@ -530,35 +967,14 @@ mod tests {
         let r = op.push(tup(2, 0, 3, 4));
         assert_eq!(r.n_cross, 2);
         assert_eq!(r.n_join, 2);
+        assert!(!r.indexed);
+        assert_eq!(op.stats().indexed_probes, 0);
     }
 
     #[test]
     fn star_join_counts_match_enumeration() {
         // Q×4-shaped query at a small scale.
-        let streams = StreamSet::new(vec![
-            StreamSpec::new(
-                "S1",
-                Schema::new(vec![
-                    ("a1", FieldType::Int),
-                    ("a2", FieldType::Int),
-                    ("a3", FieldType::Int),
-                ]),
-                10_000,
-            ),
-            StreamSpec::new("S2", Schema::new(vec![("a1", FieldType::Int)]), 10_000),
-            StreamSpec::new("S3", Schema::new(vec![("a2", FieldType::Int)]), 10_000),
-            StreamSpec::new("S4", Schema::new(vec![("a3", FieldType::Int)]), 10_000),
-        ])
-        .unwrap();
-        let cond = Arc::new(
-            StarEquiJoin::new(
-                &streams,
-                0,
-                &[(1, "a1", "a1"), (2, "a2", "a2"), (3, "a3", "a3")],
-            )
-            .unwrap(),
-        );
-        let query = JoinQuery::new("star", streams, cond).unwrap();
+        let query = star_query();
         let mut counting = MswjOperator::new(query.clone());
         let mut enumerating = MswjOperator::enumerating(query);
 
@@ -588,9 +1004,52 @@ mod tests {
             let b = enumerating.push_with(t, &mut |_| emitted += 1);
             assert_eq!(a.n_join, b.n_join, "count vs enumeration disagreement");
             assert_eq!(emitted, b.n_join);
+            assert!(a.indexed && b.indexed, "clean star workload stays indexed");
         }
         assert_eq!(counting.stats().results, enumerating.stats().results);
         assert!(counting.stats().results > 0);
+        assert_eq!(counting.stats().fallback_probes, 0);
+    }
+
+    #[test]
+    fn star_probes_match_forced_nested_loop() {
+        let query = star_query();
+        let mut indexed = MswjOperator::with_probe(query.clone(), ProbeStrategy::Auto, true);
+        let mut scan = MswjOperator::with_probe(query, ProbeStrategy::NestedLoop, true);
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for s in 0..120u64 {
+            let stream = (next() % 4) as usize;
+            let ts = s * 5;
+            let t = if stream == 0 {
+                Tuple::new(
+                    0.into(),
+                    s,
+                    Timestamp::from_millis(ts),
+                    vec![
+                        Value::Int((next() % 3) as i64),
+                        Value::Int((next() % 3) as i64),
+                        Value::Int((next() % 3) as i64),
+                    ],
+                )
+            } else {
+                tup(stream, s, ts, (next() % 3) as i64)
+            };
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            indexed.push_with(t.clone(), &mut |r| a.push(r.to_string()));
+            scan.push_with(t, &mut |r| b.push(r.to_string()));
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+        assert!(indexed.stats().results > 0, "workload must derive results");
+        assert_eq!(indexed.stats().fallback_probes, 0);
     }
 
     #[test]
@@ -604,6 +1063,7 @@ mod tests {
         let cond = Arc::new(DistanceWithin::new(&streams, "xCoord", "yCoord", 5.0).unwrap());
         let query = JoinQuery::new("dist", streams, cond).unwrap();
         let mut op = MswjOperator::new(query);
+        assert_eq!(*op.probe_plan(), ProbePlan::NestedLoop);
         let pos = |stream: usize, seq: u64, ts: u64, x: f64, y: f64| {
             Tuple::new(
                 stream.into(),
@@ -630,9 +1090,10 @@ mod tests {
         assert_eq!(op.on_t(), Timestamp::ZERO);
         assert_eq!(op.stats(), OperatorStats::default());
         assert_eq!(op.window(StreamIndex(0)).len(), 0);
-        // Operator is usable again after reset.
+        // Operator is usable again after reset, index included.
         let r = op.push(tup(0, 0, 50, 1));
         assert!(r.in_order);
+        assert!(op.probe_plan().is_indexed());
     }
 
     #[test]

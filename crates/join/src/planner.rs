@@ -1,0 +1,211 @@
+//! Probe planning: how the operator searches the other windows.
+//!
+//! The windows of an equi-join maintain value→tuple hash indexes on their
+//! key columns (see [`Window`](crate::Window)), so a probing tuple can look
+//! up exactly the bucket of candidates that can still satisfy the join
+//! instead of scanning every live tuple.  Which lookups are legal is decided
+//! in two stages:
+//!
+//! 1. **Statically**, at operator construction: the join condition's
+//!    [`EquiStructure`] is turned into a [`ProbePlan`] that names, per
+//!    stream, the columns to index and the shape of the indexed probe
+//!    (common-key or star).  Conditions without an equi structure (cross
+//!    joins, band joins, user-defined predicates) plan a
+//!    [`ProbePlan::NestedLoop`].
+//! 2. **Dynamically**, per probing tuple: the indexed path engages only when
+//!    it is provably equivalent to the exhaustive nested-loop scan — the
+//!    probing key is an integer and every probed window is *index-sound* on
+//!    its key column (it holds no live float/string/bool value there, which
+//!    could join an integer key through [`Value::join_eq`]'s numeric
+//!    coercion without being hashable to the same bucket).  Otherwise the
+//!    operator transparently falls back to the nested loop for that probe.
+//!
+//! [`Value::join_eq`]: mswj_types::Value::join_eq
+//!
+//! The strategy knob exists so that the equivalence can be *tested*: the
+//! differential harness (`tests/differential_probe.rs`) runs every workload
+//! through an [`Auto`](ProbeStrategy::Auto) session and a
+//! [`NestedLoop`](ProbeStrategy::NestedLoop) session and asserts identical
+//! result multisets.
+
+use crate::condition::EquiStructure;
+
+/// User-selectable probe strategy, wired through
+/// `SessionBuilder::probe(..)` in `mswj-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeStrategy {
+    /// Plan hash-indexed probes from the condition's [`EquiStructure`],
+    /// falling back to the nested loop per probe when index soundness
+    /// cannot be guaranteed.  This is the default.
+    #[default]
+    Auto,
+    /// Always probe by exhaustively scanning every other window.  Exists as
+    /// the reference implementation for the differential test harness and
+    /// for debugging; never faster.
+    NestedLoop,
+}
+
+impl std::fmt::Display for ProbeStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeStrategy::Auto => write!(f, "auto"),
+            ProbeStrategy::NestedLoop => write!(f, "nested-loop"),
+        }
+    }
+}
+
+/// The probe access path chosen at operator construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbePlan {
+    /// Hash-bucket lookups on one shared key column per stream
+    /// (`S_1.c_1 = … = S_m.c_m`, query Q×3).
+    CommonKey {
+        /// Key column position per stream.
+        columns: Vec<usize>,
+    },
+    /// Star-shaped bucket lookups anchored at one stream (query Q×4).
+    /// Anchor probes look up one satellite bucket per pair; satellite probes
+    /// look up the matching anchor bucket first and fan out from there.
+    Star {
+        /// Index of the anchor stream.
+        anchor: usize,
+        /// For every stream `j != anchor`, the anchor column compared
+        /// against stream `j` (ignored at `j == anchor`).
+        anchor_cols: Vec<usize>,
+        /// For every stream `j != anchor`, the column of stream `j`
+        /// compared against the anchor (ignored at `j == anchor`).
+        other_cols: Vec<usize>,
+    },
+    /// Exhaustive scan over every combination of live tuples; the only
+    /// correct plan for conditions without an [`EquiStructure`].
+    NestedLoop,
+}
+
+impl ProbePlan {
+    /// Plans the probe path for a condition's equi structure under the
+    /// given strategy.
+    pub fn new(strategy: ProbeStrategy, equi: Option<&EquiStructure>) -> Self {
+        match (strategy, equi) {
+            (ProbeStrategy::NestedLoop, _) | (_, None) => ProbePlan::NestedLoop,
+            (ProbeStrategy::Auto, Some(EquiStructure::CommonKey { columns })) => {
+                ProbePlan::CommonKey {
+                    columns: columns.clone(),
+                }
+            }
+            (
+                ProbeStrategy::Auto,
+                Some(EquiStructure::Star {
+                    anchor,
+                    anchor_cols,
+                    other_cols,
+                }),
+            ) => ProbePlan::Star {
+                anchor: *anchor,
+                anchor_cols: anchor_cols.clone(),
+                other_cols: other_cols.clone(),
+            },
+        }
+    }
+
+    /// The column positions stream `i`'s window must index for this plan.
+    ///
+    /// Common-key plans index the key column of every stream.  Star plans
+    /// index each satellite on its pair column and the anchor on every
+    /// (deduplicated) anchor-side column, so that satellite probes can look
+    /// up matching anchor tuples directly.
+    pub fn indexed_columns(&self, i: usize) -> Vec<usize> {
+        match self {
+            ProbePlan::CommonKey { columns } => vec![columns[i]],
+            ProbePlan::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            } => {
+                if i == *anchor {
+                    let mut cols: Vec<usize> = (0..anchor_cols.len())
+                        .filter(|&j| j != *anchor)
+                        .map(|j| anchor_cols[j])
+                        .collect();
+                    cols.sort_unstable();
+                    cols.dedup();
+                    cols
+                } else {
+                    vec![other_cols[i]]
+                }
+            }
+            ProbePlan::NestedLoop => Vec::new(),
+        }
+    }
+
+    /// Whether the plan ever uses hash-bucket lookups.
+    pub fn is_indexed(&self) -> bool {
+        !matches!(self, ProbePlan::NestedLoop)
+    }
+
+    /// Short human-readable description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            ProbePlan::CommonKey { columns } => {
+                format!("hash-indexed common-key probe on columns {columns:?}")
+            }
+            ProbePlan::Star { anchor, .. } => {
+                format!("hash-indexed star probe anchored at stream {}", anchor + 1)
+            }
+            ProbePlan::NestedLoop => "nested-loop probe".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_loop_strategy_overrides_equi_structure() {
+        let equi = EquiStructure::CommonKey {
+            columns: vec![0, 0],
+        };
+        let plan = ProbePlan::new(ProbeStrategy::NestedLoop, Some(&equi));
+        assert_eq!(plan, ProbePlan::NestedLoop);
+        assert!(!plan.is_indexed());
+        assert!(plan.indexed_columns(0).is_empty());
+    }
+
+    #[test]
+    fn auto_plans_common_key() {
+        let equi = EquiStructure::CommonKey {
+            columns: vec![1, 0, 2],
+        };
+        let plan = ProbePlan::new(ProbeStrategy::Auto, Some(&equi));
+        assert!(plan.is_indexed());
+        assert_eq!(plan.indexed_columns(0), vec![1]);
+        assert_eq!(plan.indexed_columns(2), vec![2]);
+        assert!(plan.describe().contains("common-key"));
+    }
+
+    #[test]
+    fn auto_plans_star_with_deduplicated_anchor_columns() {
+        // Anchor stream 0 joins satellites 1 and 2 through the *same* anchor
+        // column 3, and satellite 3 through column 5.
+        let equi = EquiStructure::Star {
+            anchor: 0,
+            anchor_cols: vec![0, 3, 3, 5],
+            other_cols: vec![0, 1, 2, 0],
+        };
+        let plan = ProbePlan::new(ProbeStrategy::Auto, Some(&equi));
+        assert_eq!(plan.indexed_columns(0), vec![3, 5]);
+        assert_eq!(plan.indexed_columns(1), vec![1]);
+        assert_eq!(plan.indexed_columns(3), vec![0]);
+        assert!(plan.describe().contains("star"));
+    }
+
+    #[test]
+    fn conditions_without_structure_plan_nested_loop() {
+        let plan = ProbePlan::new(ProbeStrategy::Auto, None);
+        assert_eq!(plan, ProbePlan::NestedLoop);
+        assert!(plan.describe().contains("nested-loop"));
+        assert_eq!(ProbeStrategy::default(), ProbeStrategy::Auto);
+        assert_eq!(ProbeStrategy::NestedLoop.to_string(), "nested-loop");
+        assert_eq!(ProbeStrategy::Auto.to_string(), "auto");
+    }
+}

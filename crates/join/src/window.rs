@@ -4,8 +4,27 @@
 //! sliding window of `W_i` milliseconds (Sec. II-A).  The window holds the
 //! tuples whose timestamps are still within scope, supports expiration
 //! driven by the timestamp of a newly processed tuple (Alg. 2, line 6) and
-//! maintains per-column *count indexes* so that equi-join result sizes can
-//! be computed without enumerating every combination.
+//! maintains, per indexed column, a **value→tuple hash index**: one bucket
+//! of live tuples per distinct integer key, kept incrementally under
+//! out-of-order inserts and expiration.  The index serves two purposes:
+//!
+//! * equi-join result *counts* are bucket-length products instead of
+//!   enumerations, and
+//! * the operator's indexed probe path (see
+//!   [`planner`](crate::planner)) enumerates only the matching bucket of
+//!   every other window instead of scanning it.
+//!
+//! ## Index soundness
+//!
+//! Buckets are keyed by `i64`, so only [`Value::Int`] attributes are
+//! hashable.  [`Value::join_eq`] additionally equates integers with floats
+//! numerically (`Int(4) == Float(4.0)`), which a hash lookup cannot see —
+//! so every index tracks, per column, the number of live tuples whose value
+//! there is a float, string or boolean ([`Window::unindexable_count`]).
+//! The probe planner consults [`Window::index_usable`] and falls back to
+//! the exhaustive scan whenever that count is non-zero.  `Null` and missing
+//! values never satisfy `join_eq` at all; they are simply left out of the
+//! buckets without compromising soundness.
 
 use mswj_types::{Duration, Timestamp, Tuple, Value};
 use std::collections::{HashMap, VecDeque};
@@ -24,12 +43,46 @@ pub struct WindowStats {
     pub peak_len: usize,
 }
 
+/// The hash index of one column: live tuples grouped by integer key, plus
+/// the count of live values the index cannot represent.
+#[derive(Debug, Clone, Default)]
+struct KeyIndex {
+    /// key value → live tuples carrying it, in timestamp order.
+    buckets: HashMap<i64, VecDeque<Tuple>>,
+    /// Live tuples whose value in this column is a float, string or bool:
+    /// such values can satisfy `join_eq` without being bucket-addressable,
+    /// so any non-zero count disables the indexed probe path.
+    unindexable: u64,
+}
+
+/// Classification of one attribute value with respect to the hash index.
+///
+/// The same classification drives both index maintenance (here) and the
+/// operator's per-probe soundness gate — they must agree case-for-case for
+/// the indexed probe to stay equivalent to the nested-loop scan.
+pub(crate) enum KeyClass {
+    /// Hashable integer key.
+    Key(i64),
+    /// `Null` or missing: can never satisfy `join_eq`, safe to omit.
+    Inert,
+    /// Float / string / bool: joinable but not hashable to an `i64` bucket.
+    Unindexable,
+}
+
+pub(crate) fn classify(v: Option<&Value>) -> KeyClass {
+    match v {
+        None | Some(Value::Null) => KeyClass::Inert,
+        Some(Value::Int(i)) => KeyClass::Key(*i),
+        Some(_) => KeyClass::Unindexable,
+    }
+}
+
 /// A time-based sliding window holding the live tuples of one stream.
 ///
 /// Tuples are kept ordered by timestamp (ties broken by insertion order) so
 /// that expiration is a pop-from-the-front operation in the common case.
 /// Optionally, integer columns can be indexed; the index maintains, for each
-/// distinct value, the number of live tuples carrying it.
+/// distinct value, the bucket of live tuples carrying it.
 ///
 /// # Examples
 ///
@@ -49,8 +102,8 @@ pub struct WindowStats {
 pub struct Window {
     size: Duration,
     tuples: VecDeque<Tuple>,
-    /// column position -> (value -> live count)
-    count_index: HashMap<usize, HashMap<i64, u64>>,
+    /// column position -> hash index of that column's live values.
+    index: HashMap<usize, KeyIndex>,
     stats: WindowStats,
 }
 
@@ -60,17 +113,17 @@ impl Window {
         Window {
             size,
             tuples: VecDeque::new(),
-            count_index: HashMap::new(),
+            index: HashMap::new(),
             stats: WindowStats::default(),
         }
     }
 
-    /// Creates a window that maintains count indexes on the given integer
-    /// column positions.
+    /// Creates a window that maintains value→tuple hash indexes on the
+    /// given integer column positions.
     pub fn with_indexed_columns(size: Duration, columns: &[usize]) -> Self {
         let mut w = Window::new(size);
         for &c in columns {
-            w.count_index.entry(c).or_default();
+            w.index.entry(c).or_default();
         }
         w
     }
@@ -112,9 +165,13 @@ impl Window {
 
     /// Inserts a tuple, keeping the content ordered by timestamp.
     pub fn insert(&mut self, tuple: Tuple) {
-        for (&col, index) in self.count_index.iter_mut() {
-            if let Some(key) = tuple.value(col).and_then(int_key) {
-                *index.entry(key).or_insert(0) += 1;
+        for (&col, index) in self.index.iter_mut() {
+            match classify(tuple.value(col)) {
+                KeyClass::Key(key) => {
+                    bucket_insert(index.buckets.entry(key).or_default(), tuple.clone())
+                }
+                KeyClass::Unindexable => index.unindexable += 1,
+                KeyClass::Inert => {}
             }
         }
         let in_order = self
@@ -147,14 +204,14 @@ impl Window {
         while let Some(front) = self.tuples.front() {
             if front.ts < bound {
                 let t = self.tuples.pop_front().expect("front checked above");
-                for (&col, index) in self.count_index.iter_mut() {
-                    if let Some(key) = t.value(col).and_then(int_key) {
-                        if let Some(cnt) = index.get_mut(&key) {
-                            *cnt -= 1;
-                            if *cnt == 0 {
-                                index.remove(&key);
-                            }
+                for (&col, index) in self.index.iter_mut() {
+                    match classify(t.value(col)) {
+                        KeyClass::Key(key) => bucket_remove(index, key, &t),
+                        KeyClass::Unindexable => {
+                            debug_assert!(index.unindexable > 0, "unindexable count underflow");
+                            index.unindexable = index.unindexable.saturating_sub(1);
                         }
+                        KeyClass::Inert => {}
                     }
                 }
                 expired += 1;
@@ -166,47 +223,111 @@ impl Window {
         expired
     }
 
-    /// Number of live tuples whose indexed column `col` equals `key`.
+    /// Number of live tuples whose indexed column `col` is `Int(key)`.
     ///
     /// Falls back to a scan when the column is not indexed.
     pub fn count_key(&self, col: usize, key: i64) -> u64 {
-        if let Some(index) = self.count_index.get(&col) {
-            index.get(&key).copied().unwrap_or(0)
+        if let Some(index) = self.index.get(&col) {
+            index.buckets.get(&key).map(|b| b.len()).unwrap_or(0) as u64
         } else {
             self.tuples
                 .iter()
-                .filter(|t| t.value(col).and_then(int_key) == Some(key))
+                .filter(|t| t.value(col).and_then(Value::as_int) == Some(key))
                 .count() as u64
         }
     }
 
-    /// Iterates over live tuples whose column `col` equals `key`.
+    /// Iterates over live tuples whose column `col` is `Int(key)`, in
+    /// timestamp order — through the hash bucket when `col` is indexed, by
+    /// scanning otherwise.  Both paths yield the identical tuple sequence
+    /// (the property harness in `tests/index_properties.rs` pins this).
     pub fn matching<'a>(&'a self, col: usize, key: i64) -> impl Iterator<Item = &'a Tuple> + 'a {
-        self.tuples
-            .iter()
-            .filter(move |t| t.value(col).and_then(int_key) == Some(key))
+        let (bucket, scan) = match self.index.get(&col) {
+            Some(ki) => (ki.buckets.get(&key), None),
+            None => (None, Some(self.tuples.iter())),
+        };
+        scan.into_iter()
+            .flatten()
+            .filter(move |t| t.value(col).and_then(Value::as_int) == Some(key))
+            .chain(bucket.into_iter().flatten())
     }
 
-    /// Whether `col` has a count index.
+    /// The hash bucket of live tuples whose column `col` is `Int(key)`;
+    /// `None` when the column is not indexed or the key has no live tuples.
+    pub(crate) fn bucket(&self, col: usize, key: i64) -> Option<&VecDeque<Tuple>> {
+        self.index.get(&col)?.buckets.get(&key)
+    }
+
+    /// Whether `col` has a hash index.
     pub fn is_indexed(&self, col: usize) -> bool {
-        self.count_index.contains_key(&col)
+        self.index.contains_key(&col)
+    }
+
+    /// Number of live tuples whose value in indexed column `col` is
+    /// joinable but not hashable (float, string or bool); 0 for unindexed
+    /// columns.
+    pub fn unindexable_count(&self, col: usize) -> u64 {
+        self.index.get(&col).map(|ki| ki.unindexable).unwrap_or(0)
+    }
+
+    /// Whether the hash index on `col` is *sound* to probe: the column is
+    /// indexed and every live value in it is either an integer key or inert
+    /// (`Null`/missing).  When this returns `false` the operator must use
+    /// the nested-loop scan for probes touching this column.
+    pub fn index_usable(&self, col: usize) -> bool {
+        self.index
+            .get(&col)
+            .map(|ki| ki.unindexable == 0)
+            .unwrap_or(false)
     }
 
     /// Removes every tuple (used when resetting an operator between runs).
     pub fn clear(&mut self) {
         self.tuples.clear();
-        for index in self.count_index.values_mut() {
-            index.clear();
+        for index in self.index.values_mut() {
+            index.buckets.clear();
+            index.unindexable = 0;
         }
     }
 }
 
-/// Maps an integer-convertible [`Value`] to the index key domain.
-fn int_key(v: &Value) -> Option<i64> {
-    match v {
-        Value::Int(i) => Some(*i),
-        Value::Bool(b) => Some(*b as i64),
-        _ => None,
+/// Inserts into a bucket keeping timestamp order (ties keep insertion
+/// order, mirroring [`Window::insert`]); late tuples search from the back.
+fn bucket_insert(bucket: &mut VecDeque<Tuple>, tuple: Tuple) {
+    let mut pos = bucket.len();
+    while pos > 0 && bucket[pos - 1].ts > tuple.ts {
+        pos -= 1;
+    }
+    if pos == bucket.len() {
+        bucket.push_back(tuple);
+    } else {
+        bucket.insert(pos, tuple);
+    }
+}
+
+/// Removes one expired tuple from its bucket.  Expired tuples carry the
+/// smallest timestamps, so the scan terminates within the bucket's leading
+/// equal-timestamp run; empty buckets are dropped to bound the key map.
+///
+/// The bucket entry is a clone of the expired tuple, so it is identified by
+/// its shared value allocation (`shares_values`) — never by deep value
+/// equality, which `Float(NaN)` attributes would break.
+fn bucket_remove(index: &mut KeyIndex, key: i64, t: &Tuple) {
+    let Some(bucket) = index.buckets.get_mut(&key) else {
+        debug_assert!(false, "expired tuple missing from index bucket");
+        return;
+    };
+    let pos = bucket
+        .iter()
+        .position(|b| b.ts == t.ts && b.seq == t.seq && b.shares_values(t));
+    match pos {
+        Some(pos) => {
+            bucket.remove(pos);
+            if bucket.is_empty() {
+                index.buckets.remove(&key);
+            }
+        }
+        None => debug_assert!(false, "expired tuple missing from index bucket"),
     }
 }
 
@@ -263,7 +384,7 @@ mod tests {
     }
 
     #[test]
-    fn count_index_tracks_inserts_and_expirations() {
+    fn key_index_tracks_inserts_and_expirations() {
         let mut w = Window::with_indexed_columns(1_000, &[0]);
         assert!(w.is_indexed(0));
         assert!(!w.is_indexed(1));
@@ -295,6 +416,27 @@ mod tests {
         w.insert(tup(2, 200, 4));
         let seqs: Vec<u64> = w.matching(0, 4).map(|t| t.seq).collect();
         assert_eq!(seqs, vec![0, 2]);
+        // Unindexed columns scan and yield the same answer.
+        let mut scan = Window::new(1_000);
+        scan.insert(tup(0, 100, 4));
+        scan.insert(tup(1, 150, 5));
+        scan.insert(tup(2, 200, 4));
+        let seqs: Vec<u64> = scan.matching(0, 4).map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 2]);
+    }
+
+    #[test]
+    fn buckets_mirror_out_of_order_inserts() {
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        w.insert(tup(0, 300, 4));
+        w.insert(tup(1, 100, 4)); // late
+        w.insert(tup(2, 200, 4)); // late
+        let seqs: Vec<u64> = w.matching(0, 4).map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 0], "bucket must stay timestamp-ordered");
+        // Expiring the two oldest removes exactly them from the bucket.
+        assert_eq!(w.expire_before(Timestamp::from_millis(250)), 2);
+        let seqs: Vec<u64> = w.matching(0, 4).map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0]);
     }
 
     #[test]
@@ -307,23 +449,80 @@ mod tests {
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.count_key(0, 1), 0);
+        assert!(w.index_usable(0));
         // Peak is a lifetime statistic and survives clear().
         assert_eq!(w.stats().peak_len, 5);
     }
 
     #[test]
-    fn non_integer_columns_are_ignored_by_index() {
+    fn unindexable_values_disable_the_index_while_live() {
         let mut w = Window::with_indexed_columns(1_000, &[0]);
+        w.insert(tup(0, 100, 2));
+        assert!(w.index_usable(0));
+        w.insert(Tuple::new(
+            StreamIndex(0),
+            1,
+            Timestamp::from_millis(200),
+            vec![Value::Float(2.5)],
+        ));
+        assert_eq!(w.unindexable_count(0), 1);
+        assert!(!w.index_usable(0), "a live float must disable the index");
+        assert_eq!(w.count_key(0, 2), 1, "the integer tuple stays bucketed");
+        // Expiring the float restores soundness without touching buckets.
+        w.expire_before(Timestamp::from_millis(300));
+        assert!(w.is_empty());
+        assert_eq!(w.unindexable_count(0), 0);
+        assert!(w.index_usable(0));
+    }
+
+    #[test]
+    fn null_and_missing_values_stay_inert() {
+        let mut w = Window::with_indexed_columns(1_000, &[1]);
+        // Column 1 missing entirely, and explicitly Null: neither can ever
+        // satisfy join_eq, so the index stays sound.
         w.insert(Tuple::new(
             StreamIndex(0),
             0,
             Timestamp::from_millis(10),
-            vec![Value::Float(2.5)],
+            vec![Value::Int(1)],
         ));
-        assert_eq!(w.count_key(0, 2), 0);
-        assert_eq!(w.len(), 1);
-        // Expiration of unindexed-value tuples must not underflow the index.
+        w.insert(Tuple::new(
+            StreamIndex(0),
+            1,
+            Timestamp::from_millis(20),
+            vec![Value::Int(1), Value::Null],
+        ));
+        assert_eq!(w.unindexable_count(1), 0);
+        assert!(w.index_usable(1));
+        assert_eq!(w.count_key(1, 0), 0);
         w.expire_before(Timestamp::from_millis(100));
         assert!(w.is_empty());
+        assert!(w.index_usable(1));
+    }
+
+    #[test]
+    fn nan_attributes_do_not_break_bucket_expiration() {
+        // Regression: bucket entries are identified by their shared value
+        // allocation, not deep equality — a Float(NaN) payload attribute
+        // (NaN != NaN) must not leave a stale clone behind at expiration.
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        w.insert(Tuple::new(
+            StreamIndex(0),
+            0,
+            Timestamp::from_millis(100),
+            vec![Value::Int(7), Value::Float(f64::NAN)],
+        ));
+        assert_eq!(w.count_key(0, 7), 1);
+        assert_eq!(w.expire_before(Timestamp::from_millis(200)), 1);
+        assert!(w.is_empty());
+        assert_eq!(w.count_key(0, 7), 0, "no phantom tuple may survive");
+        assert_eq!(w.matching(0, 7).count(), 0);
+    }
+
+    #[test]
+    fn unindexed_column_is_never_usable() {
+        let w = Window::new(1_000);
+        assert!(!w.index_usable(0));
+        assert_eq!(w.unindexable_count(0), 0);
     }
 }

@@ -58,6 +58,15 @@ impl Tuple {
         &self.values
     }
 
+    /// Whether `self` and `other` share the same attribute-value allocation,
+    /// i.e. one is a clone of the other.  This is a pointer identity test:
+    /// it distinguishes clones from independently built, value-equal tuples
+    /// and — unlike comparing `values()` — is reliable even when attributes
+    /// contain `Float(NaN)` (where `NaN != NaN` breaks deep equality).
+    pub fn shares_values(&self, other: &Tuple) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+
     /// The attribute at position `idx`, if present.
     pub fn value(&self, idx: usize) -> Option<&Value> {
         self.values.get(idx)

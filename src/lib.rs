@@ -79,7 +79,7 @@ pub mod prelude {
     };
     pub use mswj_join::{
         BandJoin, CommonKeyEquiJoin, CrossJoin, DistanceWithin, JoinCondition, JoinQuery,
-        JoinResult, MswjOperator, PredicateFn, StarEquiJoin, Window,
+        JoinResult, MswjOperator, PredicateFn, ProbePlan, ProbeStrategy, StarEquiJoin, Window,
     };
     pub use mswj_metrics::{evaluate_recall, ground_truth_counts, CountSeries, RecallEvaluation};
     pub use mswj_types::{

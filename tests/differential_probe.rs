@@ -1,0 +1,277 @@
+//! Differential harness for the hash-indexed probe path.
+//!
+//! Every randomized m-way workload is run through two materializing
+//! sessions that differ **only** in the probe strategy: the default
+//! hash-indexed plan (`ProbeStrategy::Auto`) and the forced exhaustive
+//! scan (`ProbeStrategy::NestedLoop`).  The sessions must emit
+//! byte-identical multisets of [`JoinResult`]s and identical run reports —
+//! under out-of-order arrivals, K-slack buffer shrinks and expansions,
+//! common-key and star query shapes, and adversarial mixed-type key
+//! columns that force the per-probe soundness fallback.
+//!
+//! Well over 100 randomized workloads run across the three tests below
+//! (60 common-key + 30 star + 30 mixed-type).
+
+use mswj::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Canonical multiset encoding of materialized results: the sorted list of
+/// their full display forms (stream, seq, timestamp and attribute values of
+/// every component).  Two sessions agree iff these compare equal.
+fn canon(results: &[JoinResult]) -> Vec<String> {
+    let mut v: Vec<String> = results.iter().map(|r| r.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Runs one materializing session over `events` and returns the canonical
+/// result multiset plus the run report.
+fn run(
+    query: &JoinQuery,
+    policy: &BufferPolicy,
+    strategy: ProbeStrategy,
+    events: &[ArrivalEvent],
+) -> (Vec<String>, RunReport) {
+    let mut pipeline = Pipeline::builder()
+        .query(query.clone())
+        .policy(policy.clone())
+        .probe(strategy)
+        .materialize_results()
+        .build()
+        .unwrap();
+    let mut sink = CollectSink::default();
+    for e in events {
+        pipeline.push_into(e.clone(), &mut sink);
+    }
+    let report = pipeline.finish_into(&mut sink);
+    assert_eq!(
+        sink.results.len() as u64,
+        report.total_produced,
+        "sink must see exactly the results the report counts"
+    );
+    (canon(&sink.results), report)
+}
+
+/// Runs the indexed and nested-loop sessions and asserts their outputs are
+/// identical; returns the indexed session's report.
+fn assert_differential(
+    query: &JoinQuery,
+    policy: &BufferPolicy,
+    events: &[ArrivalEvent],
+    label: &str,
+) -> RunReport {
+    let (indexed, indexed_report) = run(query, policy, ProbeStrategy::Auto, events);
+    let (scan, scan_report) = run(query, policy, ProbeStrategy::NestedLoop, events);
+    assert_eq!(
+        indexed, scan,
+        "[{label}] indexed and nested-loop probes must produce identical result multisets"
+    );
+    assert_eq!(indexed_report.total_produced, scan_report.total_produced);
+    assert_eq!(
+        indexed_report.operator_stats.in_order,
+        scan_report.operator_stats.in_order
+    );
+    assert_eq!(
+        scan_report.operator_stats.indexed_probes, 0,
+        "[{label}] the forced nested-loop session must never touch the index"
+    );
+    indexed_report
+}
+
+/// Rotates through every buffer-size policy, biased towards quality-driven
+/// sessions whose adaptation both shrinks and expands K mid-run.
+fn policy_for(case: usize, rng: &mut StdRng) -> BufferPolicy {
+    match case % 5 {
+        0 => BufferPolicy::NoKSlack,
+        1 => BufferPolicy::MaxKSlack,
+        2 => BufferPolicy::FixedK(rng.gen_range(40u64..400)),
+        _ => BufferPolicy::QualityDriven(
+            DisorderConfig::with_gamma(rng.gen_range(0.7f64..0.99))
+                .period(1_000)
+                .interval(250)
+                .granularity(20)
+                .basic_window(20),
+        ),
+    }
+}
+
+/// One tuple every 10 ms per stream, with bursty delays (alternating calm
+/// and chaotic phases) so adaptive policies shrink *and* expand K.
+/// `value_of` maps `(stream, seq, key)` to the attribute vector.
+fn gen_events(
+    rng: &mut StdRng,
+    m: usize,
+    per_stream: usize,
+    max_delay: u64,
+    mut value_of: impl FnMut(&mut StdRng, usize, i64) -> Vec<Value>,
+    domain: i64,
+) -> Vec<ArrivalEvent> {
+    let mut events = Vec::with_capacity(m * per_stream);
+    for stream in 0..m {
+        for j in 0..per_stream {
+            let arrival = (j as u64 + 1) * 10 + rng.gen_range(0u64..5);
+            let calm = (j / 15) % 2 == 0;
+            let delay = if calm {
+                rng.gen_range(0u64..=max_delay / 8 + 1)
+            } else {
+                rng.gen_range(0u64..=max_delay)
+            };
+            let ts = arrival.saturating_sub(delay);
+            let key = rng.gen_range(0i64..domain);
+            events.push(ArrivalEvent::new(
+                Timestamp::from_millis(arrival),
+                Tuple::new(
+                    stream.into(),
+                    j as u64,
+                    Timestamp::from_millis(ts),
+                    value_of(rng, stream, key),
+                ),
+            ));
+        }
+    }
+    // Normalize to the deterministic global arrival order.
+    ArrivalLog::from_events(events).events().to_vec()
+}
+
+fn common_key_query(m: usize, window: u64) -> JoinQuery {
+    let streams =
+        StreamSet::homogeneous(m, Schema::new(vec![("a1", FieldType::Int)]), window).unwrap();
+    let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+    JoinQuery::new("diff-common", streams, cond).unwrap()
+}
+
+/// 3-way star: anchor S1(a1, a2) joined with S2(a1) and S3(a2).
+fn star_query(window: u64) -> JoinQuery {
+    let streams = StreamSet::new(vec![
+        StreamSpec::new(
+            "S1",
+            Schema::new(vec![("a1", FieldType::Int), ("a2", FieldType::Int)]),
+            window,
+        ),
+        StreamSpec::new("S2", Schema::new(vec![("a1", FieldType::Int)]), window),
+        StreamSpec::new("S3", Schema::new(vec![("a2", FieldType::Int)]), window),
+    ])
+    .unwrap();
+    let cond =
+        Arc::new(StarEquiJoin::new(&streams, 0, &[(1, "a1", "a1"), (2, "a2", "a2")]).unwrap());
+    JoinQuery::new("diff-star", streams, cond).unwrap()
+}
+
+#[test]
+fn common_key_workloads_indexed_equals_nested_loop() {
+    let mut k_shrunk = false;
+    let mut k_expanded = false;
+    let mut any_results = 0u64;
+    for case in 0..60usize {
+        let mut rng = StdRng::seed_from_u64(0xD1FF + case as u64);
+        let m = 2 + case % 2;
+        // Keep the nested-loop reference tractable at arity 3.
+        let window = if m == 2 {
+            rng.gen_range(300u64..1_200)
+        } else {
+            rng.gen_range(200u64..500)
+        };
+        let domain = if m == 2 { 4 } else { 6 };
+        let query = common_key_query(m, window);
+        let policy = policy_for(case, &mut rng);
+        let events = gen_events(
+            &mut rng,
+            m,
+            if m == 2 { 90 } else { 70 },
+            300,
+            |_, _, key| vec![Value::Int(key)],
+            domain,
+        );
+        let report = assert_differential(&query, &policy, &events, &format!("common-key #{case}"));
+        // Clean integer workloads must actually exercise the index.
+        assert_eq!(report.operator_stats.fallback_probes, 0);
+        assert!(report.operator_stats.indexed_probes > 0);
+        any_results += report.total_produced;
+        for w in report.checkpoints.windows(2) {
+            k_shrunk |= w[1].k < w[0].k;
+            k_expanded |= w[1].k > w[0].k;
+        }
+    }
+    assert!(any_results > 0, "workloads must derive join results");
+    assert!(
+        k_shrunk && k_expanded,
+        "adaptive sessions must both shrink and expand K across the workloads \
+         (shrunk: {k_shrunk}, expanded: {k_expanded})"
+    );
+}
+
+#[test]
+fn star_workloads_indexed_equals_nested_loop() {
+    let mut any_results = 0u64;
+    for case in 0..30usize {
+        let mut rng = StdRng::seed_from_u64(0x57A2 + case as u64);
+        let window = rng.gen_range(200u64..500);
+        let query = star_query(window);
+        let policy = policy_for(case, &mut rng);
+        let events = gen_events(
+            &mut rng,
+            3,
+            70,
+            250,
+            |rng, stream, key| {
+                if stream == 0 {
+                    // Anchor tuples carry both pair columns.
+                    vec![Value::Int(key), Value::Int(rng.gen_range(0i64..5))]
+                } else {
+                    vec![Value::Int(key)]
+                }
+            },
+            5,
+        );
+        let report = assert_differential(&query, &policy, &events, &format!("star #{case}"));
+        assert_eq!(report.operator_stats.fallback_probes, 0);
+        assert!(report.operator_stats.indexed_probes > 0);
+        any_results += report.total_produced;
+    }
+    assert!(any_results > 0, "star workloads must derive join results");
+}
+
+#[test]
+fn mixed_type_keys_force_fallback_and_stay_identical() {
+    // Adversarial columns: floats that equal integer keys numerically
+    // (join_eq coercion), floats that equal nothing, Nulls and strings.
+    // The indexed session must fall back where soundness demands it and
+    // still match the reference scan bit for bit.
+    let mut fallbacks = 0u64;
+    for case in 0..30usize {
+        let mut rng = StdRng::seed_from_u64(0xF10A7 + case as u64);
+        let m = 2 + case % 2;
+        let window = if m == 2 { 600 } else { 350 };
+        let query = common_key_query(m, window);
+        let policy = policy_for(case + 3, &mut rng);
+        let events = gen_events(
+            &mut rng,
+            m,
+            60,
+            200,
+            |rng, _, key| {
+                let roll = rng.gen_range(0u64..20);
+                vec![match roll {
+                    0 => Value::Float(key as f64),       // numerically joins Int(key)
+                    1 => Value::Float(key as f64 + 0.5), // joins nothing
+                    2 => Value::Null,
+                    3 => Value::Str(format!("s{key}")),
+                    _ => Value::Int(key),
+                }]
+            },
+            4,
+        );
+        let report = assert_differential(&query, &policy, &events, &format!("mixed #{case}"));
+        fallbacks += report.operator_stats.fallback_probes;
+        assert!(
+            report.operator_stats.indexed_probes > 0,
+            "probes must re-engage the index once unindexable values expire"
+        );
+    }
+    assert!(
+        fallbacks > 0,
+        "mixed-type workloads must exercise the soundness fallback"
+    );
+}

@@ -145,4 +145,56 @@ fn joining_counting_session_still_stays_allocation_free_per_event() {
     );
     let report = pipeline.finish();
     assert!(report.total_produced > 0);
+    // The constant-key workload is answered entirely by the hash-indexed
+    // probe path: every in-order arrival is an indexed probe.
+    let stats = report.operator_stats;
+    assert_eq!(stats.fallback_probes, 0);
+    assert_eq!(stats.indexed_probes, stats.in_order);
+}
+
+#[test]
+fn indexed_probe_path_reuses_buckets_without_allocating() {
+    // The indexed probe path in steady state: keys rotate through a small
+    // domain, so every probe walks a different hash bucket and every insert
+    // and expiration updates one.  Buckets acquired their capacity during
+    // warm-up; afterwards bucket reuse keeps the hot path allocation-free —
+    // no per-probe and no per-maintenance allocation.
+    let _guard = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut pipeline = mswj::session()
+        .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 100)
+        .on_common_key("a1")
+        .no_k_slack()
+        .build()
+        .unwrap();
+    assert!(pipeline.probe_plan().is_indexed());
+    let rotating = |t: u64| {
+        let stream = (t % 2) as usize;
+        // Eight keys shared by both streams: each window holds every bucket
+        // non-empty in steady state (window 100 ms, per-stream key period
+        // 16 ms), so expirations shrink buckets without ever dropping and
+        // re-creating them.
+        let key = ((t / 2) % 8) as i64;
+        let ts = Timestamp::from_millis(t);
+        ArrivalEvent::new(ts, Tuple::new(stream.into(), t, ts, vec![Value::Int(key)]))
+    };
+    let warmup: Vec<ArrivalEvent> = (1..400u64).map(rotating).collect();
+    let measured: Vec<ArrivalEvent> = (400..800u64).map(rotating).collect();
+    let n = measured.len() as u64;
+    for e in warmup {
+        pipeline.push(e);
+    }
+    let before = allocations();
+    for e in measured {
+        pipeline.push(e);
+    }
+    let during = allocations() - before;
+    assert!(
+        during <= n / 8,
+        "indexed probe path allocated {during} times for {n} events"
+    );
+    let report = pipeline.finish();
+    assert!(report.total_produced > 0, "rotating keys must join");
+    let stats = report.operator_stats;
+    assert_eq!(stats.fallback_probes, 0, "integer keys never fall back");
+    assert_eq!(stats.indexed_probes, stats.in_order);
 }
