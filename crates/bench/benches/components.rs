@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mswj_core::{
-    CountingSink, DelayHistogram, KSlack, ModelInputs, Pipeline, RecallModel, Synchronizer,
+    CountingSink, DelayHistogram, EngineEvent, ExecutionBackend, JoinEngine, KSlack, ModelInputs,
+    Pipeline, RecallModel, Synchronizer,
 };
 use mswj_datasets::{q3_query, Zipf};
 use mswj_join::{CommonKeyEquiJoin, JoinQuery, MswjOperator, ProbeStrategy};
@@ -175,6 +176,97 @@ fn pipeline_push_into_throughput(c: &mut Criterion) {
     });
 }
 
+/// Throughput of the key-partitioned join engine at 1/2/4/8 shards on
+/// Zipf-skewed keys (skew 1.0 over 1 000 distinct values), in counting and
+/// materializing mode, recorded next to `indexed_vs_scan`.
+///
+/// The workload mixes one non-integral float key per ~1 000 tuples into the
+/// Zipf stream — the realistic "dirty column" case.  A live float disables
+/// the hash index of the window it sits in (join_eq coercion, see the probe
+/// planner), so the unsharded engine degrades to O(|W|) fallback scans
+/// while any float is live.  Sharding wins twice here, on any core count:
+/// a float only poisons the shard its key routes to (the other shards keep
+/// answering through their indexes), and a poisoned shard's fallback scan
+/// covers only its ~1/n slice of the window.  On multi-core hardware the
+/// `Threads(n)` workers additionally run the shards in parallel.
+///
+/// The engine is driven directly (no K-slack/synchronizer front-end), so
+/// the numbers isolate the sharded join stage; batches of 512 tuple pairs
+/// amortize the per-batch routing and thread fan-out.
+fn sharded_scaling(c: &mut Criterion) {
+    fn equi2(window_ms: u64) -> JoinQuery {
+        let streams =
+            StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), window_ms)
+                .unwrap();
+        let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+        JoinQuery::new("bench-sharded", streams, cond).unwrap()
+    }
+
+    const POISON_EVERY: u64 = 1_000;
+    let zipf = Zipf::new(1_000, 1.0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys: Vec<i64> = (0..32_768).map(|_| zipf.sample(&mut rng) as i64).collect();
+    let value_at = |global: u64| -> Value {
+        let key = keys[(global as usize) % keys.len()];
+        if global.is_multiple_of(POISON_EVERY) {
+            // Joins nothing (non-integral), but disables the hash index of
+            // whichever shard window it lives in until it expires.
+            Value::Float(key as f64 + 0.5)
+        } else {
+            Value::Int(key)
+        }
+    };
+    let batch_of = |from: u64, pairs: u64| -> Vec<Tuple> {
+        (from..from + pairs)
+            .flat_map(|t| {
+                (0..2usize).map(move |stream| {
+                    Tuple::new(
+                        stream.into(),
+                        t,
+                        Timestamp::from_millis(t),
+                        vec![value_at(t * 2 + stream as u64)],
+                    )
+                })
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("sharded_scaling");
+    // Counting mode: 4 k live tuples per stream; materializing mode: 1 k
+    // (every probe also clones its ~|bucket| result tuples).
+    let cases = [
+        ("count", false, 4_000u64, 512u64),
+        ("enum", true, 1_000, 256),
+    ];
+    for &(mode, enumerate, window, pairs) in &cases {
+        for &n in &[1usize, 2, 4, 8] {
+            group.bench_function(format!("{mode}_shards_{n}"), |b| {
+                let mut engine = JoinEngine::new(
+                    equi2(window),
+                    ProbeStrategy::Auto,
+                    enumerate,
+                    ExecutionBackend::Threads(n),
+                );
+                // Prefill to the steady-state window population.
+                let mut t = 0u64;
+                engine.push_batch(batch_of(0, window), &mut |_| {});
+                t += window;
+                b.iter(|| {
+                    let mut results = 0u64;
+                    engine.push_batch(batch_of(t, pairs), &mut |ev| {
+                        if let EngineEvent::Done(o) = ev {
+                            results += o.n_join;
+                        }
+                    });
+                    t += pairs;
+                    black_box(results)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn model_evaluation(c: &mut Criterion) {
     let delays: Vec<u64> = (0..5_000)
         .map(|i| if i % 4 == 0 { (i % 200) * 10 } else { 0 })
@@ -203,6 +295,6 @@ fn model_evaluation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = kslack_throughput, synchronizer_throughput, operator_throughput, indexed_vs_scan, pipeline_push_into_throughput, model_evaluation
+    targets = kslack_throughput, synchronizer_throughput, operator_throughput, indexed_vs_scan, sharded_scaling, pipeline_push_into_throughput, model_evaluation
 }
 criterion_main!(benches);

@@ -29,6 +29,7 @@
 //! ```
 
 use crate::config::{DisorderConfig, SelectivityStrategy};
+use crate::engine::ExecutionBackend;
 use crate::pipeline::Pipeline;
 use crate::policy::BufferPolicy;
 use mswj_join::{
@@ -101,6 +102,7 @@ pub struct SessionBuilder {
     overrides: ConfigOverrides,
     materialize: bool,
     probe: ProbeStrategy,
+    backend: ExecutionBackend,
 }
 
 impl Default for SessionBuilder {
@@ -119,6 +121,7 @@ impl std::fmt::Debug for SessionBuilder {
             .field("policy", &self.policy.as_ref().map(|p| p.name()))
             .field("materialize", &self.materialize)
             .field("probe", &self.probe)
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -135,6 +138,7 @@ impl SessionBuilder {
             overrides: ConfigOverrides::default(),
             materialize: false,
             probe: ProbeStrategy::default(),
+            backend: ExecutionBackend::default(),
         }
     }
 
@@ -311,6 +315,21 @@ impl SessionBuilder {
         self.probe(ProbeStrategy::NestedLoop)
     }
 
+    /// Chooses the execution backend of the sharded join stage.
+    ///
+    /// The default, [`ExecutionBackend::Sequential`], runs one shard on the
+    /// calling thread — byte-identical to the pre-engine pipeline.
+    /// [`ExecutionBackend::Threads`]`(n)` hash-partitions the join state by
+    /// equi-join key across `n` shards and executes each batch on `n`
+    /// scoped worker threads, merging outputs in deterministic shard order;
+    /// feed it through [`Pipeline::push_batch_into`] to amortize the
+    /// fan-out.  Conditions without a partitionable equi structure fall
+    /// back to one broadcast shard transparently.
+    pub fn parallelism(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Validates the declaration and constructs the [`Pipeline`].
     ///
     /// # Errors
@@ -319,10 +338,17 @@ impl SessionBuilder {
     /// or inconsistent: fewer than two streams, duplicate stream names, a
     /// missing join condition, a condition whose arity disagrees with the
     /// stream count, both a prebuilt query and inline streams, disorder
-    /// overrides on a policy without a configuration, or a
-    /// [`DisorderConfig`] violating `0 < Γ ≤ 1`, `0 < L ≤ P`, `b > 0`,
-    /// `g > 0`.
+    /// overrides on a policy without a configuration, a zero-thread
+    /// [`ExecutionBackend::Threads`], or a [`DisorderConfig`] violating
+    /// `0 < Γ ≤ 1`, `0 < L ≤ P`, `b > 0`, `g > 0`.
     pub fn build(self) -> Result<Pipeline> {
+        if self.backend == ExecutionBackend::Threads(0) {
+            return Err(Error::InvalidConfig(
+                "parallelism(Threads(0)) has no workers to run on; use Threads(1..) or \
+                 the Sequential backend"
+                    .into(),
+            ));
+        }
         let policy = Self::resolve_policy(self.policy, self.overrides)?;
         let query = match self.query {
             Some(query) => {
@@ -350,7 +376,7 @@ impl SessionBuilder {
                 JoinQuery::new(self.name, streams, condition)?
             }
         };
-        Pipeline::construct(query, policy, self.materialize, self.probe)
+        Pipeline::construct(query, policy, self.materialize, self.probe, self.backend)
     }
 
     /// Resolves the effective policy from the explicit choice plus the

@@ -1,0 +1,179 @@
+//! Execution backends: how a routed batch of shard work actually runs.
+//!
+//! Both executors consume the same per-shard queues produced by the
+//! engine's routing phase and deliver the same event stream:
+//!
+//! * [`run_inline`] processes the batch on the calling thread, tuple by
+//!   tuple in staging order — the [`Sequential`](super::ExecutionBackend)
+//!   backend, and the degenerate single-shard case of `Threads`.
+//! * [`run_threaded`] + [`merge_threaded`] fan the queues out to one scoped
+//!   worker per shard (`std::thread::scope`), then merge the collected
+//!   sub-outcomes and materialized results back **in staging order, shard
+//!   order within a tuple** — so the emitted event stream is deterministic
+//!   regardless of thread scheduling.
+
+use super::{Decision, EngineEvent, Item, Placement, SubOutcome};
+use mswj_join::{JoinResult, MswjOperator, OperatorStats, ProbeOutcome};
+use std::collections::VecDeque;
+
+/// Folds one finished tuple into the aggregate stats and emits its
+/// [`EngineEvent::Done`].  This is the single place where the engine's
+/// sequential-equivalent accounting happens, shared by both executors.
+fn finish_tuple(
+    d: Decision,
+    n_join: u64,
+    indexed: bool,
+    stats: &mut OperatorStats,
+    f: &mut dyn FnMut(EngineEvent<'_>),
+) {
+    let outcome = ProbeOutcome {
+        in_order: d.in_order,
+        inserted: d.inserted,
+        indexed: d.in_order && indexed,
+        n_join,
+        n_cross: d.n_cross,
+        expired: d.expired,
+    };
+    if d.in_order {
+        stats.in_order += 1;
+        if outcome.indexed {
+            stats.indexed_probes += 1;
+        } else {
+            stats.fallback_probes += 1;
+        }
+        stats.results += n_join;
+        stats.cross_results += d.n_cross;
+        stats.expired += d.expired as u64;
+    } else {
+        stats.out_of_order += 1;
+        if !d.inserted {
+            stats.dropped += 1;
+        }
+    }
+    f(EngineEvent::Done(outcome));
+}
+
+/// Runs one queued item against its shard, forwarding materialized results
+/// straight into `f` and folding the probe sub-outcome into the
+/// accumulators.
+fn run_item(
+    shard: &mut MswjOperator,
+    item: Item,
+    n_join: &mut u64,
+    indexed: &mut bool,
+    f: &mut dyn FnMut(EngineEvent<'_>),
+) {
+    if item.probe {
+        let o = shard.push_with(item.tuple, &mut |r| f(EngineEvent::Result(&r)));
+        *n_join += o.n_join;
+        *indexed &= o.indexed;
+    } else {
+        shard.insert_late(item.tuple);
+    }
+}
+
+/// Single-threaded execution: items run in staging order (broadcast tuples
+/// visit their shards in shard order), streaming events into `f` with no
+/// intermediate buffering.
+pub(super) fn run_inline(
+    shards: &mut [MswjOperator],
+    queues: &mut [VecDeque<Item>],
+    decisions: &[Decision],
+    stats: &mut OperatorStats,
+    f: &mut dyn FnMut(EngineEvent<'_>),
+) {
+    for &d in decisions {
+        let mut n_join = 0u64;
+        let mut indexed = true;
+        match d.placement {
+            Placement::None => {}
+            Placement::One(s) => {
+                let item = queues[s as usize].pop_front().expect("routed item");
+                run_item(&mut shards[s as usize], item, &mut n_join, &mut indexed, f);
+            }
+            Placement::All => {
+                for (shard, queue) in shards.iter_mut().zip(queues.iter_mut()) {
+                    let item = queue.pop_front().expect("broadcast item");
+                    run_item(shard, item, &mut n_join, &mut indexed, f);
+                }
+            }
+        }
+        finish_tuple(d, n_join, indexed, stats, f);
+    }
+}
+
+/// Parallel execution: one scoped worker per non-empty shard queue drains
+/// its queue in order, collecting `(seq, …)`-tagged sub-outcomes and
+/// materialized results into that shard's buffers.  Workers never touch the
+/// caller's sink — determinism is restored by [`merge_threaded`].
+pub(super) fn run_threaded(
+    shards: &mut [MswjOperator],
+    queues: &mut [VecDeque<Item>],
+    sub: &mut [Vec<SubOutcome>],
+    mat: &mut [Vec<(u32, JoinResult)>],
+) {
+    std::thread::scope(|scope| {
+        for ((shard, queue), (sub_s, mat_s)) in shards
+            .iter_mut()
+            .zip(queues.iter_mut())
+            .zip(sub.iter_mut().zip(mat.iter_mut()))
+        {
+            if queue.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                while let Some(item) = queue.pop_front() {
+                    if item.probe {
+                        let seq = item.seq;
+                        let o = shard.push_with(item.tuple, &mut |r| mat_s.push((seq, r)));
+                        sub_s.push(SubOutcome {
+                            seq,
+                            n_join: o.n_join,
+                            indexed: o.indexed,
+                        });
+                    } else {
+                        shard.insert_late(item.tuple);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Replays the per-shard buffers filled by [`run_threaded`] in staging
+/// order (shard order within each tuple), emitting the same event stream
+/// [`run_inline`] would have produced.
+pub(super) fn merge_threaded(
+    decisions: &[Decision],
+    sub: &mut [Vec<SubOutcome>],
+    mat: &mut [Vec<(u32, JoinResult)>],
+    stats: &mut OperatorStats,
+    f: &mut dyn FnMut(EngineEvent<'_>),
+) {
+    let n = sub.len();
+    let mut sub_cur = vec![0usize; n];
+    let mut mat_cur = vec![0usize; n];
+    for (seq, &d) in decisions.iter().enumerate() {
+        let seq = seq as u32;
+        let mut n_join = 0u64;
+        let mut indexed = true;
+        for s in 0..n {
+            while mat_cur[s] < mat[s].len() && mat[s][mat_cur[s]].0 == seq {
+                f(EngineEvent::Result(&mat[s][mat_cur[s]].1));
+                mat_cur[s] += 1;
+            }
+            if sub_cur[s] < sub[s].len() && sub[s][sub_cur[s]].seq == seq {
+                let o = sub[s][sub_cur[s]];
+                sub_cur[s] += 1;
+                n_join += o.n_join;
+                indexed &= o.indexed;
+            }
+        }
+        finish_tuple(d, n_join, indexed, stats, f);
+    }
+    for s in 0..n {
+        debug_assert_eq!(sub_cur[s], sub[s].len(), "unconsumed shard outcomes");
+        sub[s].clear();
+        mat[s].clear();
+    }
+}

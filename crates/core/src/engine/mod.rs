@@ -1,0 +1,567 @@
+//! The key-partitioned join engine: sharded windows behind the sequential
+//! disorder-handling front-end.
+//!
+//! The paper's pipeline (Fig. 2) is inherently sequential *per stream* on
+//! its control path — K-slack buffering, synchronization, statistics and
+//! the PD/model-based adaptation of K are global decisions.  The expensive
+//! stage is not: window insertion and the m-way probe only ever combine
+//! tuples that agree on the equi-join key, so the join state can be
+//! hash-partitioned by key across `n` independent **shards**, each owning a
+//! full [`MswjOperator`] (windows + hash indexes) over its key slice.
+//!
+//! ```text
+//!                         ┌──────────────── JoinEngine ────────────────┐
+//!  front-end (sequential) │  route by key   ┌─ shard 0: MswjOperator ─┐│
+//!  K-slack → Synchronizer ┼────────────────►├─ shard 1: MswjOperator ─┤├─► merged
+//!  onT / expiry / n_x(e)  │  (broadcast for ├─ …                      ─┤│   events
+//!  decided **globally**   │   star sats)    └─ shard n-1 ─────────────┘│
+//!                         └────────────────────────────────────────────┘
+//! ```
+//!
+//! ## Division of labour
+//!
+//! The engine front (this module) makes every decision that requires the
+//! global picture, exactly as the unsharded operator would: the in-order /
+//! out-of-order classification against the **global** high-water mark
+//! `onT`, the out-of-order scope check, and the per-probe expiry counts and
+//! cross-join sizes `n_x(e)` (via a global occupancy tracker, so adaptive
+//! policies see identical statistics on every backend).  Shards only maintain
+//! their windows and answer probes; a shard's own `onT` may lag the global
+//! one, which is why late tuples reach it through
+//! [`MswjOperator::insert_late`] instead of `push_with`.
+//!
+//! ## Determinism
+//!
+//! Events are emitted in staging order; a broadcast tuple's results are
+//! merged in shard order.  The [`ExecutionBackend::Sequential`] backend is
+//! byte-identical to the pre-engine pipeline; `Threads(n)` produces the
+//! same result multiset (and, because `n_x(e)` is computed globally, the
+//! same adaptation trajectory) for any `n` — pinned by
+//! `tests/differential_backends.rs`.
+//!
+//! ## Fallback
+//!
+//! Conditions without a partitionable equi structure (cross joins, band
+//! joins, UDFs, or an explicitly forced nested-loop probe) degrade to one
+//! broadcast shard: same semantics, no parallelism.
+
+mod exec;
+mod occupancy;
+
+use mswj_join::{
+    JoinQuery, JoinResult, MswjOperator, OperatorStats, Partitioner, ProbeOutcome, ProbePlan,
+    ProbeStrategy, Route,
+};
+use mswj_types::{StreamIndex, Timestamp, Tuple};
+use occupancy::Occupancy;
+use std::collections::VecDeque;
+
+/// How the sharded join stage executes a routed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionBackend {
+    /// One shard on the calling thread — byte-identical to the pre-engine
+    /// pipeline, and the default.
+    #[default]
+    Sequential,
+    /// `n` shards executed by `n` scoped worker threads per batch
+    /// (`std::thread::scope`), outputs merged in deterministic shard order.
+    /// `Threads(1)` exercises the sharded machinery on a single shard and
+    /// is equivalent to `Sequential`.
+    Threads(usize),
+}
+
+impl ExecutionBackend {
+    /// The number of shards this backend asks for (before the plan-driven
+    /// fallback to one broadcast shard).
+    pub fn requested_shards(self) -> usize {
+        match self {
+            ExecutionBackend::Sequential => 1,
+            ExecutionBackend::Threads(n) => n.max(1),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionBackend::Sequential => write!(f, "sequential"),
+            ExecutionBackend::Threads(n) => write!(f, "threads({n})"),
+        }
+    }
+}
+
+/// One event of the engine's output stream, delivered to the callback
+/// passed to [`JoinEngine::flush`].
+#[derive(Debug)]
+pub enum EngineEvent<'a> {
+    /// One materialized join result of the tuple currently finishing
+    /// (enumerating engines only).
+    Result(&'a JoinResult),
+    /// A staged tuple finished processing: all of its results (if any) have
+    /// been emitted, and this is its sequential-equivalent outcome.
+    Done(ProbeOutcome),
+}
+
+/// One queued unit of shard work.
+struct Item {
+    /// Index of the staged tuple this item belongs to (its position in the
+    /// current batch).
+    seq: u32,
+    /// `true` → in-order: expire, probe, insert (`push_with`);
+    /// `false` → globally late: absorb without probing (`insert_late`).
+    probe: bool,
+    /// The tuple itself (a cheap clone per extra shard for broadcasts).
+    tuple: Tuple,
+}
+
+/// Where a staged tuple's work was queued.
+#[derive(Debug, Clone, Copy)]
+enum Placement {
+    /// Dropped by the global scope check: no shard work at all.
+    None,
+    /// Owned by one shard.
+    One(u32),
+    /// Broadcast to every shard.
+    All,
+}
+
+/// The globally decided part of one staged tuple's outcome.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    in_order: bool,
+    inserted: bool,
+    n_cross: u64,
+    expired: usize,
+    placement: Placement,
+}
+
+/// A shard's contribution to one probing tuple's outcome.
+#[derive(Debug, Clone, Copy)]
+struct SubOutcome {
+    seq: u32,
+    n_join: u64,
+    indexed: bool,
+}
+
+/// The sharded join stage: routing front plus `n` shard operators.
+pub struct JoinEngine {
+    shards: Vec<MswjOperator>,
+    partitioner: Partitioner,
+    backend: ExecutionBackend,
+    query: JoinQuery,
+    on_t: Timestamp,
+    started: bool,
+    occupancy: Occupancy,
+    stats: OperatorStats,
+    /// Staged tuples awaiting the next [`JoinEngine::flush`].
+    pending: Vec<Tuple>,
+    /// Reusable routing / execution buffers (capacity persists across
+    /// batches, so a steady-state flush allocates nothing on the
+    /// sequential path).
+    decisions: Vec<Decision>,
+    queues: Vec<VecDeque<Item>>,
+    sub: Vec<Vec<SubOutcome>>,
+    mat: Vec<Vec<(u32, JoinResult)>>,
+}
+
+impl std::fmt::Debug for JoinEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinEngine")
+            .field("backend", &self.backend)
+            .field("shards", &self.shards.len())
+            .field("plan", &self.probe_plan().describe())
+            .field("on_t", &self.on_t)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl JoinEngine {
+    /// Builds the engine for a query: plans the probe path, derives the
+    /// partitioning rules and instantiates one [`MswjOperator`] per shard.
+    ///
+    /// Unpartitionable plans (nested-loop probes) always get exactly one
+    /// shard, whatever the backend requests.
+    pub fn new(
+        query: JoinQuery,
+        strategy: ProbeStrategy,
+        enumerate: bool,
+        backend: ExecutionBackend,
+    ) -> Self {
+        let equi = query.condition().equi_structure();
+        let plan = ProbePlan::new(strategy, equi.as_ref());
+        let partitioner = Partitioner::new(&plan, backend.requested_shards());
+        let n = partitioner.shard_count();
+        let shards = (0..n)
+            .map(|_| MswjOperator::with_probe(query.clone(), strategy, enumerate))
+            .collect();
+        let m = query.arity();
+        JoinEngine {
+            shards,
+            partitioner,
+            backend,
+            on_t: Timestamp::ZERO,
+            started: false,
+            occupancy: Occupancy::new(m),
+            stats: OperatorStats::default(),
+            pending: Vec::new(),
+            decisions: Vec::new(),
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            sub: (0..n).map(|_| Vec::new()).collect(),
+            mat: (0..n).map(|_| Vec::new()).collect(),
+            query,
+        }
+    }
+
+    /// The backend this engine executes with.
+    pub fn backend(&self) -> ExecutionBackend {
+        self.backend
+    }
+
+    /// Number of shards actually instantiated (1 for unpartitionable
+    /// plans, the backend's request otherwise).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard operator at `s` — windows, hash indexes and per-shard
+    /// counters are all inspectable through it.
+    pub fn shard(&self, s: usize) -> &MswjOperator {
+        &self.shards[s]
+    }
+
+    /// Per-shard lifetime counters: each shard's own [`OperatorStats`],
+    /// reflecting the probes, inserts and expirations that shard performed.
+    pub fn shard_stats(&self) -> Vec<OperatorStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Aggregate counters, kept **sequential-equivalent**: ordering, drop
+    /// and expiry counts come from the engine's global decisions, result
+    /// counts from the shards.  (Per-shard `indexed`/`fallback` tallies can
+    /// legitimately differ from an unsharded run — an unindexable value
+    /// only poisons the shard it lives in.)
+    pub fn stats(&self) -> OperatorStats {
+        self.stats
+    }
+
+    /// The routing rules in force.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The probe access path shared by every shard.
+    pub fn probe_plan(&self) -> &ProbePlan {
+        self.shards[0].probe_plan()
+    }
+
+    /// The global high-water timestamp `onT` — the watermark of the merged
+    /// result stream.
+    pub fn on_t(&self) -> Timestamp {
+        self.on_t
+    }
+
+    /// Whether the engine materializes results.
+    pub fn is_enumerating(&self) -> bool {
+        self.shards[0].is_enumerating()
+    }
+
+    /// Stages one synchronized tuple for the next [`JoinEngine::flush`].
+    pub fn stage(&mut self, tuple: Tuple) {
+        self.pending.push(tuple);
+    }
+
+    /// Whether any staged tuples await execution.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Stages a whole batch and flushes it — the amortized entry point for
+    /// callers that do not need the pipeline front-end.
+    pub fn push_batch<I>(&mut self, tuples: I, f: &mut dyn FnMut(EngineEvent<'_>))
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        for t in tuples {
+            self.stage(t);
+        }
+        self.flush(f);
+    }
+
+    /// Routes and executes every staged tuple, delivering the event stream
+    /// to `f`: zero or more [`EngineEvent::Result`]s per tuple (enumerating
+    /// engines), then exactly one [`EngineEvent::Done`] per staged tuple,
+    /// in staging order.
+    pub fn flush(&mut self, f: &mut dyn FnMut(EngineEvent<'_>)) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.route_pending();
+        let items: usize = self.queues.iter().map(VecDeque::len).sum();
+        let threaded =
+            matches!(self.backend, ExecutionBackend::Threads(_)) && self.shards.len() > 1;
+        if threaded && items > 0 {
+            exec::run_threaded(
+                &mut self.shards,
+                &mut self.queues,
+                &mut self.sub,
+                &mut self.mat,
+            );
+            exec::merge_threaded(
+                &self.decisions,
+                &mut self.sub,
+                &mut self.mat,
+                &mut self.stats,
+                f,
+            );
+        } else {
+            exec::run_inline(
+                &mut self.shards,
+                &mut self.queues,
+                &self.decisions,
+                &mut self.stats,
+                f,
+            );
+        }
+        self.decisions.clear();
+    }
+
+    /// The sequential routing phase: classify every staged tuple against
+    /// the global `onT`, replay the global expiry/occupancy accounting, and
+    /// queue the shard work.
+    fn route_pending(&mut self) {
+        let mut pending = std::mem::take(&mut self.pending);
+        for (idx, tuple) in pending.drain(..).enumerate() {
+            let seq = idx as u32;
+            let i = tuple.stream.as_usize();
+            let in_order = !self.started || tuple.ts >= self.on_t;
+            if in_order {
+                self.on_t = tuple.ts;
+                self.started = true;
+                let mut expired = 0usize;
+                let mut n_cross = 1u64;
+                for j in 0..self.query.arity() {
+                    if j != i {
+                        let w_j = self.query.window(StreamIndex(j));
+                        let bound = tuple.ts.saturating_sub_duration(w_j);
+                        expired += self.occupancy.expire(j, bound);
+                        n_cross = n_cross.saturating_mul(self.occupancy.len(j) as u64);
+                    }
+                }
+                self.occupancy.insert(i, tuple.ts);
+                let placement = self.enqueue(seq, true, tuple);
+                self.decisions.push(Decision {
+                    in_order: true,
+                    inserted: true,
+                    n_cross,
+                    expired,
+                    placement,
+                });
+            } else {
+                // Global scope check (e.ts >= onT - W_i, Sec. III-A): a
+                // shard's lagging view must not resurrect a tuple the
+                // unsharded operator would drop.
+                let w_i = self.query.window(StreamIndex(i));
+                let keep = tuple.ts >= self.on_t.saturating_sub_duration(w_i);
+                let placement = if keep {
+                    self.occupancy.insert(i, tuple.ts);
+                    self.enqueue(seq, false, tuple)
+                } else {
+                    Placement::None
+                };
+                self.decisions.push(Decision {
+                    in_order: false,
+                    inserted: keep,
+                    n_cross: 0,
+                    expired: 0,
+                    placement,
+                });
+            }
+        }
+        self.pending = pending;
+    }
+
+    /// Queues one tuple's shard work according to its route.
+    fn enqueue(&mut self, seq: u32, probe: bool, tuple: Tuple) -> Placement {
+        match self.partitioner.route(&tuple) {
+            Route::One(s) => {
+                self.queues[s].push_back(Item { seq, probe, tuple });
+                Placement::One(s as u32)
+            }
+            Route::All => {
+                let last = self.queues.len() - 1;
+                for s in 0..last {
+                    self.queues[s].push_back(Item {
+                        seq,
+                        probe,
+                        tuple: tuple.clone(),
+                    });
+                }
+                self.queues[last].push_back(Item { seq, probe, tuple });
+                Placement::All
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mswj_join::CommonKeyEquiJoin;
+    use mswj_types::{FieldType, Schema, StreamSet, Value};
+    use std::sync::Arc;
+
+    fn equi_query(m: usize, window: u64) -> JoinQuery {
+        let streams =
+            StreamSet::homogeneous(m, Schema::new(vec![("a1", FieldType::Int)]), window).unwrap();
+        let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+        JoinQuery::new("engine-test", streams, cond).unwrap()
+    }
+
+    fn tup(stream: usize, seq: u64, ts: u64, key: i64) -> Tuple {
+        Tuple::new(
+            stream.into(),
+            seq,
+            Timestamp::from_millis(ts),
+            vec![Value::Int(key)],
+        )
+    }
+
+    /// Drives `tuples` through an engine and returns (sorted result
+    /// strings, outcomes).
+    fn run(
+        backend: ExecutionBackend,
+        enumerate: bool,
+        tuples: &[Tuple],
+    ) -> (Vec<String>, Vec<ProbeOutcome>, OperatorStats) {
+        let mut engine = JoinEngine::new(
+            equi_query(2, 1_000),
+            ProbeStrategy::Auto,
+            enumerate,
+            backend,
+        );
+        let mut results = Vec::new();
+        let mut outcomes = Vec::new();
+        engine.push_batch(tuples.iter().cloned(), &mut |ev| match ev {
+            EngineEvent::Result(r) => results.push(r.to_string()),
+            EngineEvent::Done(o) => outcomes.push(o),
+        });
+        results.sort();
+        (results, outcomes, engine.stats())
+    }
+
+    #[test]
+    fn sequential_engine_matches_the_unsharded_operator() {
+        let tuples: Vec<Tuple> = (0..40u64)
+            .map(|s| tup((s % 2) as usize, s, s * 10, (s % 3) as i64))
+            .collect();
+        let (_, outcomes, stats) = run(ExecutionBackend::Sequential, false, &tuples);
+        let mut op = MswjOperator::new(equi_query(2, 1_000));
+        for (t, engine_outcome) in tuples.iter().zip(&outcomes) {
+            let direct = op.push(t.clone());
+            assert_eq!(&direct, engine_outcome, "outcome mismatch at {t}");
+        }
+        assert_eq!(stats, op.stats());
+    }
+
+    #[test]
+    fn threaded_backends_agree_with_sequential() {
+        let tuples: Vec<Tuple> = (0..120u64)
+            .map(|s| {
+                let late = s % 7 == 0 && s > 0;
+                let ts = if late { s * 10 - 60 } else { s * 10 };
+                tup((s % 2) as usize, s, ts, (s % 5) as i64)
+            })
+            .collect();
+        let (seq_res, seq_out, seq_stats) = run(ExecutionBackend::Sequential, true, &tuples);
+        for n in [1usize, 3, 4] {
+            let (res, out, stats) = run(ExecutionBackend::Threads(n), true, &tuples);
+            assert_eq!(seq_res, res, "result multiset diverged at {n} shards");
+            assert_eq!(seq_out.len(), out.len());
+            for (a, b) in seq_out.iter().zip(&out) {
+                assert_eq!(a.in_order, b.in_order);
+                assert_eq!(a.inserted, b.inserted);
+                assert_eq!(a.n_join, b.n_join);
+                assert_eq!(a.n_cross, b.n_cross, "global n_x(e) must not shard");
+                assert_eq!(a.expired, b.expired);
+            }
+            assert_eq!(seq_stats.results, stats.results);
+            assert_eq!(seq_stats.in_order, stats.in_order);
+            assert_eq!(seq_stats.out_of_order, stats.out_of_order);
+            assert_eq!(seq_stats.dropped, stats.dropped);
+            assert_eq!(seq_stats.expired, stats.expired);
+            assert_eq!(seq_stats.cross_results, stats.cross_results);
+        }
+    }
+
+    #[test]
+    fn sharded_windows_partition_the_global_state() {
+        let tuples: Vec<Tuple> = (0..200u64)
+            .map(|s| tup((s % 2) as usize, s, s * 5, (s % 16) as i64))
+            .collect();
+        let mut engine = JoinEngine::new(
+            equi_query(2, 500),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::Threads(4),
+        );
+        assert_eq!(engine.shard_count(), 4);
+        engine.push_batch(tuples, &mut |_| {});
+        let per_shard = engine.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert!(
+            per_shard.iter().filter(|s| s.in_order > 0).count() >= 3,
+            "16 keys must spread probes over the shards: {per_shard:?}"
+        );
+        // The shard windows partition the global state (common-key plans
+        // never broadcast).  Shards expire lazily — only a probe *in that
+        // shard* drains it — so stale tuples may linger; restricted to the
+        // in-scope suffix, the sharded and unsharded views must agree.
+        let mut reference = MswjOperator::new(equi_query(2, 500));
+        for s in 0..200u64 {
+            reference.push(tup((s % 2) as usize, s, s * 5, (s % 16) as i64));
+        }
+        assert_eq!(engine.on_t(), reference.on_t());
+        for stream in 0..2 {
+            let bound = engine.on_t().saturating_sub_duration(500);
+            let in_scope = |w: &mswj_join::Window| w.iter().filter(|t| t.ts >= bound).count();
+            let sharded: usize = (0..4)
+                .map(|s| in_scope(engine.shard(s).window(StreamIndex(stream))))
+                .sum();
+            assert_eq!(sharded, in_scope(reference.window(StreamIndex(stream))));
+            let raw: usize = (0..4)
+                .map(|s| engine.shard(s).window(StreamIndex(stream)).len())
+                .sum();
+            assert!(raw >= reference.window(StreamIndex(stream)).len());
+        }
+    }
+
+    #[test]
+    fn unpartitionable_plans_collapse_to_one_shard() {
+        let engine = JoinEngine::new(
+            equi_query(2, 1_000),
+            ProbeStrategy::NestedLoop,
+            false,
+            ExecutionBackend::Threads(8),
+        );
+        assert_eq!(engine.shard_count(), 1);
+        assert!(!engine.partitioner().is_partitioned());
+    }
+
+    #[test]
+    fn flush_without_pending_is_a_no_op() {
+        let mut engine = JoinEngine::new(
+            equi_query(2, 1_000),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::Sequential,
+        );
+        let mut events = 0u32;
+        engine.flush(&mut |_| events += 1);
+        assert_eq!(events, 0);
+        assert!(!engine.has_pending());
+        assert_eq!(engine.backend(), ExecutionBackend::Sequential);
+        assert!(!engine.is_enumerating());
+        assert_eq!(engine.on_t(), Timestamp::ZERO);
+    }
+}

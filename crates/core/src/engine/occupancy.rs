@@ -1,0 +1,92 @@
+//! Global window occupancy: the engine's authoritative view of how many
+//! tuples are live per stream.
+//!
+//! A sharded engine cannot read "the window size of stream `j`" off any
+//! single shard — each shard holds only its partition (or a broadcast
+//! copy).  The cross-join size `n_x(e)` reported per probing tuple, which
+//! feeds the Tuple-Productivity Profiler and hence the buffer-size
+//! adaptation, must nevertheless equal the unsharded operator's value
+//! exactly — otherwise adaptive policies would diverge between backends.
+//!
+//! This module tracks, per stream, the multiset of live tuple timestamps
+//! in a min-heap and replays the operator's exact expiry rule
+//! (`ts < probe.ts - W_j`, evaluated lazily at each probing arrival).
+//! Because probing timestamps are monotone, lazy draining observes
+//! precisely the same counts the unsharded windows would.
+
+use mswj_types::Timestamp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-stream live-timestamp multisets mirroring the unsharded windows.
+#[derive(Debug, Default)]
+pub(super) struct Occupancy {
+    heaps: Vec<BinaryHeap<Reverse<Timestamp>>>,
+}
+
+impl Occupancy {
+    /// Tracks `m` streams, all initially empty.
+    pub(super) fn new(m: usize) -> Self {
+        Occupancy {
+            heaps: (0..m).map(|_| BinaryHeap::new()).collect(),
+        }
+    }
+
+    /// Records one inserted tuple of stream `i` (in-order or late — both
+    /// occupy the window until expiry).
+    pub(super) fn insert(&mut self, i: usize, ts: Timestamp) {
+        self.heaps[i].push(Reverse(ts));
+    }
+
+    /// Removes every timestamp of stream `j` strictly below `bound`
+    /// (the operator's `expire_before` rule) and returns how many.
+    pub(super) fn expire(&mut self, j: usize, bound: Timestamp) -> usize {
+        let heap = &mut self.heaps[j];
+        let mut expired = 0;
+        while let Some(Reverse(front)) = heap.peek() {
+            if *front < bound {
+                heap.pop();
+                expired += 1;
+            } else {
+                break;
+            }
+        }
+        expired
+    }
+
+    /// Number of live tuples of stream `j` (`|S_j[W_j]|` under the lazily
+    /// applied expiry bound).
+    pub(super) fn len(&self, j: usize) -> usize {
+        self.heaps[j].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_mirrors_the_window_rule() {
+        let mut occ = Occupancy::new(2);
+        for ts in [100u64, 200, 300, 250] {
+            occ.insert(0, Timestamp::from_millis(ts));
+        }
+        occ.insert(1, Timestamp::from_millis(50));
+        assert_eq!(occ.len(0), 4);
+        // Bound is exclusive: ts == bound survives.
+        assert_eq!(occ.expire(0, Timestamp::from_millis(250)), 2);
+        assert_eq!(occ.len(0), 2);
+        assert_eq!(occ.len(1), 1);
+        // Draining with an older bound is a no-op, like `expire_before`.
+        assert_eq!(occ.expire(0, Timestamp::from_millis(100)), 0);
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_absorbed() {
+        let mut occ = Occupancy::new(1);
+        occ.insert(0, Timestamp::from_millis(500));
+        occ.insert(0, Timestamp::from_millis(100)); // late arrival
+        assert_eq!(occ.expire(0, Timestamp::from_millis(200)), 1);
+        assert_eq!(occ.len(0), 1);
+    }
+}

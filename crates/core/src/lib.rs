@@ -19,6 +19,7 @@
 //! | [`model`] | Analytical recall model `γ(L, K)`, Eqs. 1–5 |
 //! | [`adaptation`] | Buffer-Size Manager, model-based K search, Alg. 3 |
 //! | [`policy`] | Quality-driven policy plus the paper's baselines |
+//! | [`engine`] | Key-partitioned sharded join stage behind the sequential front-end |
 //! | [`pipeline`] | End-to-end wiring driven by arrival events |
 //! | [`builder`] | Fluent [`SessionBuilder`] assembling a whole session |
 //! | [`output`] | Typed [`OutputEvent`]s, [`Checkpoint`], [`RunReport`] |
@@ -60,6 +61,7 @@
 pub mod adaptation;
 pub mod builder;
 pub mod config;
+pub mod engine;
 pub mod kslack;
 mod minheap;
 pub mod model;
@@ -75,6 +77,7 @@ pub mod synchronizer;
 pub use adaptation::{AdaptationOutcome, BufferSizeManager};
 pub use builder::SessionBuilder;
 pub use config::{DisorderConfig, ProbePlan, ProbeStrategy, SelectivityStrategy};
+pub use engine::{EngineEvent, ExecutionBackend, JoinEngine};
 pub use kslack::{KSlack, KSlackStats};
 pub use model::{ModelInputs, RecallModel};
 pub use output::{Checkpoint, OutputEvent, RunReport};

@@ -97,8 +97,13 @@ pub struct RunReport {
     pub checkpoints: Vec<Checkpoint>,
     /// Time-weighted average buffer size over the run (ms).
     pub avg_k_ms: f64,
-    /// Join operator counters.
+    /// Aggregate join-stage counters, kept sequential-equivalent across
+    /// execution backends.
     pub operator_stats: OperatorStats,
+    /// Per-shard join-stage counters (one entry per shard; a single entry
+    /// on the `Sequential` backend).  Their `results` sum to
+    /// [`RunReport::total_produced`].
+    pub shard_stats: Vec<OperatorStats>,
     /// Total number of join results produced.
     pub total_produced: u64,
     /// Tuples that left a K-slack component still out of order.

@@ -4,7 +4,7 @@
 //! policy:
 //!
 //! ```text
-//!   raw arrivals ──► K-slack (one per stream) ──► Synchronizer ──► MSWJ operator ──► Sink
+//!   raw arrivals ──► K-slack (one per stream) ──► Synchronizer ──► sharded JoinEngine ──► Sink
 //!        │                   ▲                                        │
 //!        ▼                   │ updates of K                           ▼
 //!   Statistics Manager ──► Buffer-Size Manager ◄── Tuple-Productivity Profiler
@@ -12,25 +12,41 @@
 //!                                └── Result-Size Monitor ◄┘
 //! ```
 //!
+//! The pipeline has two layers.  The **front-end** is sequential and
+//! global, exactly as the paper requires: K-slack buffering, the
+//! Synchronizer, the Statistics Manager, the buffer-size adaptation and the
+//! watermark all observe every tuple in one total order.  The **join
+//! stage** is a key-partitioned [`JoinEngine`]: synchronized tuples are
+//! staged into it, hash-routed by their equi-join key across `n` shard
+//! operators, and executed per batch by the configured
+//! [`ExecutionBackend`] ([`SessionBuilder::parallelism`]).
+//!
 //! The pipeline is driven by [`ArrivalEvent`]s (tuples in arrival order,
 //! interleaved across streams) and delivers its output *event by event*:
 //! [`Pipeline::push_into`] hands every join result, checkpoint, buffer-size
 //! change and watermark advance to a caller-provided [`Sink`] as a borrowed
-//! [`OutputEvent`], so the counting hot path performs no
-//! per-event heap allocation.  Sessions are assembled with the fluent
-//! [`SessionBuilder`] (see [`Pipeline::builder`]).
+//! [`OutputEvent`], so the counting hot path performs no per-event heap
+//! allocation.  [`Pipeline::push_batch_into`] ingests a whole batch and
+//! flushes the join stage **once**, amortizing the front-end → shard
+//! hand-off (and, under the `Threads` backend, one thread fan-out) over the
+//! batch; single-event `push_into` simply delegates to it.  Sessions are
+//! assembled with the fluent [`SessionBuilder`] (see [`Pipeline::builder`]).
 //!
 //! Every `L` milliseconds of the arrival axis a *checkpoint* is taken:
 //! adaptive policies run their adaptation step (Alg. 3 or the PD controller)
 //! and every policy records the buffer size in force, so that downstream
 //! metrics can measure `γ(P)` "right before each adaptation of K" exactly as
-//! the paper does.  Results released by a shrinking buffer are emitted into
-//! the sink within the same `push_into`/`finish_into` call that applied the
-//! shrink — nothing is parked in a side buffer.
+//! the paper does.  The join stage is always flushed before a checkpoint is
+//! taken and before a buffer-size change is applied, so adaptation decisions
+//! see fully up-to-date statistics and results released by a shrinking
+//! buffer reach the sink within the same `push_into`/`push_batch_into`/
+//! `finish_into` call that applied the shrink — nothing is parked in a side
+//! buffer.
 
 use crate::adaptation::BufferSizeManager;
 use crate::builder::SessionBuilder;
 use crate::config::DisorderConfig;
+use crate::engine::{EngineEvent, ExecutionBackend, JoinEngine};
 use crate::kslack::KSlack;
 use crate::output::{Checkpoint, OutputEvent, RunReport};
 use crate::policy::{BufferPolicy, PdState};
@@ -39,7 +55,7 @@ use crate::result_monitor::ResultSizeMonitor;
 use crate::sink::{NullSink, Sink};
 use crate::statistics::StatisticsManager;
 use crate::synchronizer::Synchronizer;
-use mswj_join::{JoinQuery, MswjOperator, OperatorStats, ProbePlan, ProbeStrategy};
+use mswj_join::{JoinQuery, OperatorStats, ProbePlan, ProbeStrategy};
 use mswj_types::{ArrivalEvent, Duration, Result, StreamIndex, Timestamp, Tuple};
 
 /// The quality-driven disorder-handling pipeline for one MSWJ query.
@@ -48,7 +64,7 @@ pub struct Pipeline {
     policy: BufferPolicy,
     kslacks: Vec<KSlack>,
     synchronizer: Synchronizer,
-    operator: MswjOperator,
+    engine: JoinEngine,
     stats: StatisticsManager,
     profiler: ProductivityProfiler,
     monitor: ResultSizeMonitor,
@@ -67,11 +83,15 @@ pub struct Pipeline {
     checkpoints: Vec<Checkpoint>,
     /// Watermark of the last [`OutputEvent::Progress`] emission.
     last_progress: Option<Timestamp>,
-    /// Reusable scratch buffers for the K-slack → Synchronizer → operator
+    /// Reusable scratch buffers for the K-slack → Synchronizer → engine
     /// routing; capacity persists across events, so a steady-state push
     /// allocates nothing.
     scratch_released: Vec<Tuple>,
     scratch_synced: Vec<Tuple>,
+    /// `(delay, ts)` of every tuple staged into the engine, in staging
+    /// order — consumed by the per-tuple bookkeeping when the engine
+    /// flushes.
+    pending_meta: Vec<(Duration, Timestamp)>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -79,6 +99,8 @@ impl std::fmt::Debug for Pipeline {
         f.debug_struct("Pipeline")
             .field("query", &self.query)
             .field("policy", &self.policy.name())
+            .field("backend", &self.engine.backend())
+            .field("shards", &self.engine.shard_count())
             .field("current_k", &self.current_k)
             .finish()
     }
@@ -86,18 +108,26 @@ impl std::fmt::Debug for Pipeline {
 
 impl Pipeline {
     /// Starts a fluent [`SessionBuilder`] — the ergonomic way to declare
-    /// streams, join condition, policy and disorder configuration in one
-    /// chain (also reachable as `mswj::session()` from the facade crate).
+    /// streams, join condition, policy, parallelism and disorder
+    /// configuration in one chain (also reachable as `mswj::session()` from
+    /// the facade crate).
     pub fn builder() -> SessionBuilder {
         SessionBuilder::new()
     }
 
     /// Creates a counting pipeline for a prebuilt query: results are
     /// counted (never materialized), which is the mode every experiment
-    /// uses.  Sessions that want [`OutputEvent::Result`] events are built
-    /// via [`SessionBuilder::materialize_results`].
+    /// uses, on the default [`ExecutionBackend::Sequential`].  Sessions
+    /// that want [`OutputEvent::Result`] events or a parallel join stage
+    /// are built via [`SessionBuilder`].
     pub fn new(query: JoinQuery, policy: BufferPolicy) -> Result<Self> {
-        Self::construct(query, policy, false, ProbeStrategy::Auto)
+        Self::construct(
+            query,
+            policy,
+            false,
+            ProbeStrategy::Auto,
+            ExecutionBackend::Sequential,
+        )
     }
 
     pub(crate) fn construct(
@@ -105,6 +135,7 @@ impl Pipeline {
         policy: BufferPolicy,
         materialize: bool,
         probe: ProbeStrategy,
+        backend: ExecutionBackend,
     ) -> Result<Self> {
         let config: DisorderConfig = policy.config().copied().unwrap_or_default();
         config.validate()?;
@@ -117,11 +148,11 @@ impl Pipeline {
             BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
-        let operator = MswjOperator::with_probe(query.clone(), probe, materialize);
+        let engine = JoinEngine::new(query.clone(), probe, materialize, backend);
         Ok(Pipeline {
             kslacks: (0..m).map(|_| KSlack::new(initial_k)).collect(),
             synchronizer: Synchronizer::new(m),
-            operator,
+            engine,
             stats: StatisticsManager::new(m, config.granularity_g),
             profiler: ProductivityProfiler::new(config.granularity_g),
             monitor: ResultSizeMonitor::new(
@@ -143,6 +174,7 @@ impl Pipeline {
             last_progress: None,
             scratch_released: Vec::new(),
             scratch_synced: Vec::new(),
+            pending_meta: Vec::new(),
             query,
             policy,
         })
@@ -166,20 +198,33 @@ impl Pipeline {
     /// Whether this session materializes join results (and hence emits
     /// [`OutputEvent::Result`] events).
     pub fn is_materializing(&self) -> bool {
-        self.operator.is_enumerating()
+        self.engine.is_enumerating()
     }
 
     /// The probe access path the join operator planned from the condition's
     /// equi structure (hash-indexed common-key/star lookups, or the
     /// exhaustive nested loop).
     pub fn probe_plan(&self) -> &ProbePlan {
-        self.operator.probe_plan()
+        self.engine.probe_plan()
     }
 
-    /// The join operator's lifetime counters so far — including how many
-    /// probes used the hash-indexed path versus the nested-loop fallback.
+    /// The sharded join stage: backend, shard count, per-shard operators
+    /// and routing rules are all inspectable through it.
+    pub fn engine(&self) -> &JoinEngine {
+        &self.engine
+    }
+
+    /// The join stage's aggregate lifetime counters so far — including how
+    /// many probes used the hash-indexed path versus the nested-loop
+    /// fallback.  Kept sequential-equivalent across backends.
     pub fn operator_stats(&self) -> OperatorStats {
-        self.operator.stats()
+        self.engine.stats()
+    }
+
+    /// Per-shard lifetime counters of the join stage (one entry per shard;
+    /// a single entry on the `Sequential` backend).
+    pub fn shard_stats(&self) -> Vec<OperatorStats> {
+        self.engine.shard_stats()
     }
 
     /// Access to the runtime statistics manager (mainly for tests).
@@ -196,12 +241,43 @@ impl Pipeline {
 
     /// Processes one arrival, delivering every output event — join results
     /// (materializing sessions only), checkpoints, buffer-size changes and
-    /// watermark advances — to `sink` as it happens.
+    /// watermark advances — to `sink` before returning.
     ///
     /// This is the hot path: events borrow from the pipeline and the
     /// internal routing reuses scratch buffers, so a counting session in
-    /// steady state performs **no per-event heap allocation**.
+    /// steady state performs **no per-event heap allocation**.  Delegates
+    /// to [`Pipeline::push_batch_into`] with a one-event batch.
     pub fn push_into<S: Sink>(&mut self, event: ArrivalEvent, sink: &mut S) {
+        self.push_batch_into(std::iter::once(event), sink);
+    }
+
+    /// Processes a whole batch of arrivals, flushing the sharded join stage
+    /// once per batch instead of once per event.
+    ///
+    /// Batching amortizes the front-end → shard hand-off — and, under
+    /// [`ExecutionBackend::Threads`], one thread fan-out — over the batch,
+    /// which is where the parallel backends earn their keep.  Semantics are
+    /// identical to pushing the events one by one: the same results,
+    /// reports and adaptation trajectory (checkpoints force an intermediate
+    /// flush, so adaptive policies never act on stale statistics).  The
+    /// only observable difference is *within* the batch: results and
+    /// watermark advances are delivered at flush boundaries rather than
+    /// strictly interleaved with later arrivals' buffer-size events.
+    pub fn push_batch_into<S, I>(&mut self, events: I, sink: &mut S)
+    where
+        S: Sink,
+        I: IntoIterator<Item = ArrivalEvent>,
+    {
+        for event in events {
+            self.ingest(event, sink);
+        }
+        self.flush_engine(sink);
+    }
+
+    /// Front-end processing of one arrival: checkpoint boundaries, delay
+    /// statistics, K-slack buffering and staging of released tuples into
+    /// the join stage.  Does **not** flush the stage.
+    fn ingest<S: Sink>(&mut self, event: ArrivalEvent, sink: &mut S) {
         let arrival = event.arrival;
         if self.first_arrival.is_none() {
             self.first_arrival = Some(arrival);
@@ -210,9 +286,12 @@ impl Pipeline {
         }
         self.last_arrival = arrival;
 
-        // Checkpoint / adaptation boundaries crossed by this arrival.
+        // Checkpoint / adaptation boundaries crossed by this arrival.  The
+        // join stage is flushed first so the profiler and result-size
+        // monitor are up to date when the adaptation reads them.
         while let Some(next) = self.next_checkpoint {
             if arrival >= next {
+                self.flush_engine(sink);
                 self.take_checkpoint(next, sink);
                 self.next_checkpoint = Some(next.saturating_add_duration(self.interval_l));
             } else {
@@ -226,6 +305,7 @@ impl Pipeline {
         if delay > self.lifetime_max_delay {
             self.lifetime_max_delay = delay;
             if matches!(self.policy, BufferPolicy::MaxKSlack) {
+                self.flush_engine(sink);
                 self.apply_k(self.lifetime_max_delay, arrival, sink);
             }
         }
@@ -233,7 +313,7 @@ impl Pipeline {
         let mut released = std::mem::take(&mut self.scratch_released);
         debug_assert!(released.is_empty());
         self.kslacks[stream.as_usize()].push_into(tuple, &mut released);
-        self.route_downstream(&mut released, sink);
+        self.route_downstream(&mut released);
         self.scratch_released = released;
     }
 
@@ -259,12 +339,13 @@ impl Pipeline {
             ks.flush_into(&mut tail);
         }
         tail.sort_by_key(|t| t.ts);
-        self.route_downstream(&mut tail, sink);
+        self.route_downstream(&mut tail);
         let mut synced = std::mem::take(&mut self.scratch_synced);
         self.synchronizer.flush_into(&mut synced);
         for t in synced.drain(..) {
-            self.consume_one(t, sink);
+            self.stage_one(t);
         }
+        self.flush_engine(sink);
 
         // Close the average-K accounting.
         let end = self.last_arrival;
@@ -297,8 +378,9 @@ impl Pipeline {
 
         RunReport {
             policy: self.policy.name().to_owned(),
-            total_produced: self.operator.stats().results,
-            operator_stats: self.operator.stats(),
+            total_produced: self.engine.stats().results,
+            operator_stats: self.engine.stats(),
+            shard_stats: self.engine.shard_stats(),
             produced: self.produced,
             checkpoints: self.checkpoints,
             avg_k_ms: avg_k,
@@ -309,51 +391,84 @@ impl Pipeline {
         }
     }
 
-    /// Sends K-slack output through the synchronizer and the join operator,
-    /// draining `released` and emitting derived results into `sink`.
-    fn route_downstream<S: Sink>(&mut self, released: &mut Vec<Tuple>, sink: &mut S) {
+    /// Sends K-slack output through the synchronizer, draining `released`
+    /// and staging the synchronized tuples into the join stage (they
+    /// execute at the next flush).
+    fn route_downstream(&mut self, released: &mut Vec<Tuple>) {
         let mut synced = std::mem::take(&mut self.scratch_synced);
         debug_assert!(synced.is_empty());
         for t in released.drain(..) {
             self.synchronizer.push_into(t, &mut synced);
         }
         for t in synced.drain(..) {
-            self.consume_one(t, sink);
+            self.stage_one(t);
         }
         self.scratch_synced = synced;
     }
 
-    /// Feeds one synchronized tuple to the join operator, records
-    /// productivity / result-size statistics and emits output events.
-    fn consume_one<S: Sink>(&mut self, t: Tuple, sink: &mut S) {
-        let delay = t.delay_or_zero();
-        let ts = t.ts;
-        let outcome = self
-            .operator
-            .push_with(t, &mut |r| sink.event(OutputEvent::Result(&r)));
-        if outcome.in_order {
-            self.profiler
-                .record_processed(delay, outcome.n_cross, outcome.n_join);
-            if outcome.n_join > 0 {
-                self.monitor.record_produced(ts, outcome.n_join);
-                self.produced.push((ts, outcome.n_join));
-                self.produced_since_checkpoint += outcome.n_join;
-            }
-            let on_t = self.operator.on_t();
-            if self.last_progress != Some(on_t) {
-                self.last_progress = Some(on_t);
-                sink.event(OutputEvent::Progress(on_t));
-            }
-        } else {
-            self.profiler.record_unprocessed(delay);
+    /// Stages one synchronized tuple into the engine, remembering the
+    /// metadata the per-tuple bookkeeping needs at flush time.
+    fn stage_one(&mut self, t: Tuple) {
+        self.pending_meta.push((t.delay_or_zero(), t.ts));
+        self.engine.stage(t);
+    }
+
+    /// Executes every staged tuple through the configured backend, feeding
+    /// results into `sink` and the outcomes into the productivity profiler,
+    /// the result-size monitor and the watermark.
+    fn flush_engine<S: Sink>(&mut self, sink: &mut S) {
+        if !self.engine.has_pending() {
+            return;
         }
+        let meta = std::mem::take(&mut self.pending_meta);
+        let mut idx = 0usize;
+        let Pipeline {
+            engine,
+            profiler,
+            monitor,
+            produced,
+            produced_since_checkpoint,
+            last_progress,
+            ..
+        } = self;
+        engine.flush(&mut |ev| match ev {
+            EngineEvent::Result(r) => sink.event(OutputEvent::Result(r)),
+            EngineEvent::Done(outcome) => {
+                let (delay, ts) = meta[idx];
+                idx += 1;
+                if outcome.in_order {
+                    profiler.record_processed(delay, outcome.n_cross, outcome.n_join);
+                    if outcome.n_join > 0 {
+                        monitor.record_produced(ts, outcome.n_join);
+                        produced.push((ts, outcome.n_join));
+                        *produced_since_checkpoint += outcome.n_join;
+                    }
+                    // An in-order tuple advances onT to its own timestamp;
+                    // deduplicate repeats so the watermark only moves
+                    // forward.
+                    if *last_progress != Some(ts) {
+                        *last_progress = Some(ts);
+                        sink.event(OutputEvent::Progress(ts));
+                    }
+                } else {
+                    profiler.record_unprocessed(delay);
+                }
+            }
+        });
+        debug_assert_eq!(idx, meta.len(), "one Done event per staged tuple");
+        let mut meta = meta;
+        meta.clear();
+        self.pending_meta = meta;
     }
 
     /// Takes one periodic checkpoint at arrival-axis instant `at`: runs the
     /// policy's adaptation (if any), applies the new K to every K-slack
     /// component (Same-K policy), records the checkpoint and emits it.
+    ///
+    /// The caller guarantees the join stage was flushed, so `measure_ts`
+    /// and the profiler reflect every tuple staged so far.
     fn take_checkpoint<S: Sink>(&mut self, at: Timestamp, sink: &mut S) {
-        let measure_ts = self.operator.on_t();
+        let measure_ts = self.engine.on_t();
         let mut gamma_prime = f64::NAN;
         let mut estimated = f64::NAN;
         let mut nanos = 0u64;
@@ -390,6 +505,9 @@ impl Pipeline {
         };
         self.produced_since_checkpoint = 0;
         self.apply_k(new_k, at, sink);
+        // Results released by a shrink are delivered before the checkpoint
+        // event, exactly as when pushing event by event.
+        self.flush_engine(sink);
 
         self.checkpoints.push(Checkpoint {
             at,
@@ -407,8 +525,8 @@ impl Pipeline {
     /// Applies a new buffer size to every K-slack component (Same-K policy),
     /// updates the time-weighted average-K accounting and emits one
     /// [`OutputEvent::KChanged`] per stream.  Tuples released by a shrink
-    /// are routed downstream immediately, so the results they derive reach
-    /// `sink` within the same call.
+    /// are staged downstream immediately, so the results they derive reach
+    /// `sink` within the same push/flush call.
     fn apply_k<S: Sink>(&mut self, k: Duration, at: Timestamp, sink: &mut S) {
         if k == self.current_k {
             return;
@@ -431,7 +549,7 @@ impl Pipeline {
         }
         if !released.is_empty() {
             released.sort_by_key(|t| t.ts);
-            self.route_downstream(&mut released, sink);
+            self.route_downstream(&mut released);
         }
         self.scratch_released = released;
     }
@@ -665,5 +783,85 @@ mod tests {
     fn invalid_config_is_rejected_at_construction() {
         let bad = DisorderConfig::with_gamma(2.0);
         assert!(Pipeline::new(query(2, 200), BufferPolicy::QualityDriven(bad)).is_err());
+    }
+
+    #[test]
+    fn batched_and_single_pushes_are_equivalent() {
+        let config = DisorderConfig::with_gamma(0.9).period(2_000).interval(500);
+        let events = workload(1_200, 250);
+
+        let mut single = Pipeline::builder()
+            .query(query(2, 400))
+            .policy(BufferPolicy::QualityDriven(config))
+            .materialize_results()
+            .build()
+            .unwrap();
+        let mut single_sink = CollectSink::default();
+        for e in events.clone() {
+            single.push_into(e, &mut single_sink);
+        }
+        let single_report = single.finish_into(&mut single_sink);
+
+        let mut batched = Pipeline::builder()
+            .query(query(2, 400))
+            .policy(BufferPolicy::QualityDriven(config))
+            .materialize_results()
+            .build()
+            .unwrap();
+        let mut batched_sink = CollectSink::default();
+        for chunk in events.chunks(97) {
+            batched.push_batch_into(chunk.iter().cloned(), &mut batched_sink);
+        }
+        let batched_report = batched.finish_into(&mut batched_sink);
+
+        assert_eq!(single_report.total_produced, batched_report.total_produced);
+        // Checkpoints agree on everything but the wall-clock adaptation
+        // timing, which is inherently nondeterministic.
+        let timeless = |cs: &[Checkpoint]| {
+            cs.iter()
+                .map(|c| Checkpoint {
+                    adaptation_nanos: 0,
+                    ..*c
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            timeless(&single_report.checkpoints),
+            timeless(&batched_report.checkpoints)
+        );
+        assert_eq!(single_report.produced, batched_report.produced);
+        let canon = |sink: &CollectSink| {
+            let mut v: Vec<String> = sink.results.iter().map(|r| r.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&single_sink), canon(&batched_sink));
+    }
+
+    #[test]
+    fn parallel_backend_is_wired_through_the_pipeline() {
+        let mut p = Pipeline::builder()
+            .query(query(2, 500))
+            .policy(BufferPolicy::NoKSlack)
+            .parallelism(ExecutionBackend::Threads(4))
+            .build()
+            .unwrap();
+        assert_eq!(p.engine().shard_count(), 4);
+        let mut reference = Pipeline::new(query(2, 500), BufferPolicy::NoKSlack).unwrap();
+        let events: Vec<ArrivalEvent> = (1..=600u64)
+            .map(|i| ev((i % 2) as usize, i, i * 5, i * 5, (i % 8) as i64))
+            .collect();
+        p.push_batch_into(events.iter().cloned(), &mut NullSink);
+        for e in events {
+            reference.push(e);
+        }
+        let parallel = p.finish();
+        let sequential = reference.finish();
+        assert_eq!(parallel.total_produced, sequential.total_produced);
+        assert_eq!(parallel.produced, sequential.produced);
+        assert_eq!(parallel.shard_stats.len(), 4);
+        assert_eq!(sequential.shard_stats.len(), 1);
+        let sharded_results: u64 = parallel.shard_stats.iter().map(|s| s.results).sum();
+        assert_eq!(sharded_results, parallel.total_produced);
     }
 }

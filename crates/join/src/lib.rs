@@ -25,6 +25,7 @@
 
 pub mod condition;
 pub mod operator;
+pub mod partition;
 pub mod planner;
 pub mod query;
 pub mod result;
@@ -35,6 +36,7 @@ pub use condition::{
     PredicateFn, StarEquiJoin,
 };
 pub use operator::{MswjOperator, OperatorStats, ProbeOutcome};
+pub use partition::{join_key_hash, Partitioner, Route};
 pub use planner::{ProbePlan, ProbeStrategy};
 pub use query::JoinQuery;
 pub use result::JoinResult;

@@ -14,6 +14,13 @@
 //!    within the window's current scope so that it can contribute to future
 //!    results.
 //!
+//! The responsibilities are split across three submodules so that
+//! shard-local and global concerns stay visible in the module tree:
+//! [`insert`] owns window maintenance (expiry, in-order and out-of-order
+//! insertion, including the engine-driven [`MswjOperator::insert_late`]),
+//! [`probe`] owns the read-only probe access paths, and [`stats`] owns the
+//! [`ProbeOutcome`]/[`OperatorStats`] records.
+//!
 //! ## Probe access paths
 //!
 //! How step 1 searches the other windows is decided by a [`ProbePlan`]
@@ -24,87 +31,34 @@
 //! use the exhaustive nested-loop scan.  Both paths are proven equivalent
 //! by the differential harness in `tests/differential_probe.rs`.
 //!
+//! ## Sharded execution
+//!
+//! An operator can also serve as **one shard** of a key-partitioned engine
+//! (`mswj-core`'s `engine` module): the engine routes tuples by their
+//! equi-join key, keeps the *global* high-water mark itself, and drives
+//! each shard through [`MswjOperator::push_with`] (globally in-order
+//! tuples, which are in-order for the shard too) and
+//! [`MswjOperator::insert_late`] (globally late tuples the shard must
+//! absorb without probing).
+//!
 //! For every processed tuple the operator reports the number of produced
 //! join results `n_on(e)` and the corresponding cross-join size `n_x(e)`;
 //! the Tuple-Productivity Profiler consumes these to learn the
 //! delay-productivity correlation (Sec. IV-B).
 
+pub mod insert;
+pub mod probe;
+pub mod stats;
+
+pub use stats::{OperatorStats, ProbeOutcome};
+
 use crate::condition::JoinCondition;
 use crate::planner::{ProbePlan, ProbeStrategy};
 use crate::query::JoinQuery;
 use crate::result::JoinResult;
-use crate::window::{classify, KeyClass, Window};
-use mswj_types::{StreamIndex, Timestamp, Tuple, Value};
-use std::collections::VecDeque;
+use crate::window::Window;
+use mswj_types::{StreamIndex, Timestamp, Tuple};
 use std::sync::Arc;
-
-/// What happened when one tuple was pushed into the operator.
-///
-/// Materialized results are not carried here: in enumerating mode they are
-/// handed to the caller's emit callback one by one (see
-/// [`MswjOperator::push_with`]), so the outcome itself stays allocation-free.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ProbeOutcome {
-    /// Whether the tuple arrived in timestamp order w.r.t. `onT`.
-    pub in_order: bool,
-    /// Whether the tuple was inserted into its window (out-of-order tuples
-    /// that already fell out of the window scope are dropped).
-    pub inserted: bool,
-    /// Whether the probe was answered without scanning the other windows:
-    /// through hash-index bucket lookups, or short-circuited because the
-    /// probing key can never join (`Null`/missing).  `false` for
-    /// nested-loop scans and for out-of-order (non-probing) arrivals.
-    pub indexed: bool,
-    /// Number of join results derived at this arrival (`n_on(e)`); zero for
-    /// out-of-order tuples.
-    pub n_join: u64,
-    /// Size of the corresponding cross-join (`n_x(e)`), i.e. the product of
-    /// the other windows' cardinalities at probe time; zero for out-of-order
-    /// tuples.
-    pub n_cross: u64,
-    /// Number of tuples expired from other windows by this arrival.
-    pub expired: usize,
-}
-
-/// Aggregate counters over the operator's lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct OperatorStats {
-    /// Tuples processed in timestamp order (probing arrivals).
-    pub in_order: u64,
-    /// Tuples processed out of timestamp order (non-probing arrivals).
-    pub out_of_order: u64,
-    /// Out-of-order tuples that were too old to be inserted into their
-    /// window and were dropped entirely.
-    pub dropped: u64,
-    /// Probing arrivals answered through the hash-indexed probe path
-    /// (bucket lookups or barren-key short-circuits).
-    pub indexed_probes: u64,
-    /// Probing arrivals that used the exhaustive nested-loop scan — either
-    /// because the plan is [`ProbePlan::NestedLoop`] or because index
-    /// soundness could not be guaranteed for that probe.
-    pub fallback_probes: u64,
-    /// Total join results produced.
-    pub results: u64,
-    /// Total cross-join combinations corresponding to probing arrivals.
-    pub cross_results: u64,
-    /// Total expired tuples across all windows.
-    pub expired: u64,
-}
-
-/// Per-probe decision of the indexed access path.
-enum Gate {
-    /// Hash lookups are provably equivalent to the scan for this probe.
-    /// Carries the probe's own bucket key (0 for anchor probes, which read
-    /// one key per satellite from the probing tuple instead).
-    Engage(i64),
-    /// The probing tuple's key is `Null` or missing: no combination can
-    /// satisfy the equi-join, so the probe derives zero results without
-    /// touching any window.
-    Barren,
-    /// Equivalence cannot be guaranteed (non-integer key values in play):
-    /// the probe must use the exhaustive nested-loop scan.
-    Fallback,
-}
 
 /// The m-way sliding window join operator.
 pub struct MswjOperator {
@@ -242,22 +196,13 @@ impl MswjOperator {
             self.on_t = tuple.ts;
             self.started = true;
             // Step 1: invalidate expired tuples in windows of other streams.
-            for j in 0..self.windows.len() {
-                if j != i {
-                    let w_j = self.query.window(StreamIndex(j));
-                    let bound = tuple.ts.saturating_sub_duration(w_j);
-                    outcome.expired += self.windows[j].expire_before(bound);
-                }
-            }
+            outcome.expired = self.expire_others(i, &tuple);
             // Step 2: probe remaining tuples in all other windows.
             outcome.n_cross = self.cross_size(i);
             if self.enumerate {
-                let mut n_join = 0u64;
-                outcome.indexed = self.probe_enumerate(i, &tuple, &mut |combo| {
-                    n_join += 1;
-                    emit(JoinResult::new(combo.iter().map(|&t| t.clone()).collect()));
-                });
+                let (n_join, indexed) = self.probe_materialize(i, &tuple, emit);
                 outcome.n_join = n_join;
+                outcome.indexed = indexed;
             } else {
                 let (n_join, indexed) = self.probe_count(i, &tuple);
                 outcome.n_join = n_join;
@@ -278,441 +223,9 @@ impl MswjOperator {
         } else {
             // Out-of-order tuple: no probing; insert only if still in scope
             // (e.ts >= onT - W_i, Sec. III-A).
-            self.stats.out_of_order += 1;
-            let w_i = self.query.window(StreamIndex(i));
-            if tuple.ts >= self.on_t.saturating_sub_duration(w_i) {
-                self.windows[i].insert(tuple);
-                outcome.inserted = true;
-            } else {
-                self.stats.dropped += 1;
-            }
+            outcome.inserted = self.insert_out_of_order(tuple);
         }
         outcome
-    }
-
-    /// Product of the other windows' cardinalities: the cross-join size at
-    /// the arrival of a probing tuple of stream `i`.
-    fn cross_size(&self, i: usize) -> u64 {
-        self.windows
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != i)
-            .map(|(_, w)| w.len() as u64)
-            .product()
-    }
-
-    // ------------------------------------------------------------------
-    // Per-probe gates: when is the indexed path provably equivalent?
-    // ------------------------------------------------------------------
-
-    /// Classifies the probing tuple's own key value, with the same
-    /// [`KeyClass`] rules the windows use for index maintenance — the gate
-    /// is only sound because the two sides agree case-for-case.
-    fn classify_probe(v: Option<&Value>) -> Gate {
-        match classify(v) {
-            // Null/missing keys fail every join_eq comparison.
-            KeyClass::Inert => Gate::Barren,
-            KeyClass::Key(k) => Gate::Engage(k),
-            // Floats can equal integers under join_eq's numeric coercion,
-            // and strings/bools can equal their own kind in other windows —
-            // neither is answerable from the i64 buckets.
-            KeyClass::Unindexable => Gate::Fallback,
-        }
-    }
-
-    fn common_key_gate(&self, i: usize, tuple: &Tuple, columns: &[usize]) -> Gate {
-        let key = match Self::classify_probe(tuple.value(columns[i])) {
-            Gate::Engage(k) => k,
-            other => return other,
-        };
-        for (j, w) in self.windows.iter().enumerate() {
-            if j != i && !w.index_usable(columns[j]) {
-                return Gate::Fallback;
-            }
-        }
-        Gate::Engage(key)
-    }
-
-    fn star_anchor_gate(&self, anchor: usize, tuple: &Tuple, cols: &StarCols<'_>) -> Gate {
-        let mut fallback = false;
-        for j in 0..self.windows.len() {
-            if j == anchor {
-                continue;
-            }
-            match Self::classify_probe(tuple.value(cols.anchor_cols[j])) {
-                // A Null/missing pair key fails every combination outright,
-                // regardless of any soundness concern elsewhere.
-                Gate::Barren => return Gate::Barren,
-                Gate::Fallback => fallback = true,
-                Gate::Engage(_) => {}
-            }
-            if !self.windows[j].index_usable(cols.other_cols[j]) {
-                fallback = true;
-            }
-        }
-        if fallback {
-            Gate::Fallback
-        } else {
-            Gate::Engage(0)
-        }
-    }
-
-    fn star_satellite_gate(
-        &self,
-        i: usize,
-        anchor: usize,
-        tuple: &Tuple,
-        cols: &StarCols<'_>,
-    ) -> Gate {
-        let key = match Self::classify_probe(tuple.value(cols.other_cols[i])) {
-            Gate::Engage(k) => k,
-            other => return other,
-        };
-        // The anchor window must be sound on *every* anchor-side column:
-        // on anchor_cols[i] for the bucket lookup itself, and on the other
-        // pair columns so that skipping non-integer anchor values (which
-        // are then provably inert) is equivalent to the scan.
-        for j in 0..self.windows.len() {
-            if j == anchor {
-                continue;
-            }
-            if !self.windows[anchor].index_usable(cols.anchor_cols[j]) {
-                return Gate::Fallback;
-            }
-            if j != i && !self.windows[j].index_usable(cols.other_cols[j]) {
-                return Gate::Fallback;
-            }
-        }
-        Gate::Engage(key)
-    }
-
-    // ------------------------------------------------------------------
-    // Counting probes
-    // ------------------------------------------------------------------
-
-    /// Index-assisted (or enumerated) count of the join results derived by
-    /// a probing tuple of stream `i`; the flag reports whether the probe
-    /// avoided a window scan.
-    fn probe_count(&self, i: usize, tuple: &Tuple) -> (u64, bool) {
-        match &self.plan {
-            ProbePlan::CommonKey { columns } => match self.common_key_gate(i, tuple, columns) {
-                Gate::Engage(key) => {
-                    let mut product = 1u64;
-                    for (j, w) in self.windows.iter().enumerate() {
-                        if j == i {
-                            continue;
-                        }
-                        let c = w.count_key(columns[j], key);
-                        if c == 0 {
-                            return (0, true);
-                        }
-                        product = product.saturating_mul(c);
-                    }
-                    (product, true)
-                }
-                Gate::Barren => (0, true),
-                Gate::Fallback => (self.enumerate_count(i, tuple), false),
-            },
-            ProbePlan::Star {
-                anchor,
-                anchor_cols,
-                other_cols,
-            } => {
-                let cols = StarCols {
-                    anchor_cols,
-                    other_cols,
-                };
-                if i == *anchor {
-                    match self.star_anchor_gate(*anchor, tuple, &cols) {
-                        Gate::Engage(_) => {
-                            let mut product = 1u64;
-                            for (j, w) in self.windows.iter().enumerate() {
-                                if j == *anchor {
-                                    continue;
-                                }
-                                let key = tuple
-                                    .value(anchor_cols[j])
-                                    .and_then(Value::as_int)
-                                    .expect("gate guarantees integer pair keys");
-                                let c = w.count_key(other_cols[j], key);
-                                if c == 0 {
-                                    return (0, true);
-                                }
-                                product = product.saturating_mul(c);
-                            }
-                            (product, true)
-                        }
-                        Gate::Barren => (0, true),
-                        Gate::Fallback => (self.enumerate_count(i, tuple), false),
-                    }
-                } else {
-                    match self.star_satellite_gate(i, *anchor, tuple, &cols) {
-                        Gate::Engage(own_key) => {
-                            (self.count_star_satellite(i, *anchor, own_key, &cols), true)
-                        }
-                        Gate::Barren => (0, true),
-                        Gate::Fallback => (self.enumerate_count(i, tuple), false),
-                    }
-                }
-            }
-            ProbePlan::NestedLoop => (self.enumerate_count(i, tuple), false),
-        }
-    }
-
-    /// Satellite-probe counting: walk only the anchor tuples in the
-    /// matching bucket and multiply the other satellites' bucket sizes.
-    fn count_star_satellite(
-        &self,
-        i: usize,
-        anchor: usize,
-        own_key: i64,
-        cols: &StarCols<'_>,
-    ) -> u64 {
-        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
-            return 0;
-        };
-        let mut total = 0u64;
-        'anchor: for a in anchor_bucket {
-            let mut product = 1u64;
-            for (k, w) in self.windows.iter().enumerate() {
-                if k == anchor || k == i {
-                    continue;
-                }
-                // The gate proved the anchor window sound on this column,
-                // so a non-integer value here is inert and never joins.
-                let key = match a.value(cols.anchor_cols[k]).and_then(Value::as_int) {
-                    Some(v) => v,
-                    None => continue 'anchor,
-                };
-                let c = w.count_key(cols.other_cols[k], key);
-                if c == 0 {
-                    continue 'anchor;
-                }
-                product = product.saturating_mul(c);
-            }
-            total = total.saturating_add(product);
-        }
-        total
-    }
-
-    /// Nested-loop count of matching combinations for arbitrary conditions.
-    fn enumerate_count(&self, i: usize, tuple: &Tuple) -> u64 {
-        let mut count = 0u64;
-        self.for_each_combination(i, tuple, &mut |_| count += 1);
-        count
-    }
-
-    // ------------------------------------------------------------------
-    // Enumerating probes
-    // ------------------------------------------------------------------
-
-    /// Invokes `f` for every matching combination (one live tuple per other
-    /// stream plus the probing tuple at position `i`), choosing the indexed
-    /// bucket walk when the gate allows it and the exhaustive scan
-    /// otherwise.  Returns whether a window scan was avoided.
-    fn probe_enumerate<'a>(
-        &'a self,
-        i: usize,
-        tuple: &'a Tuple,
-        f: &mut dyn FnMut(&[&'a Tuple]),
-    ) -> bool {
-        match &self.plan {
-            ProbePlan::CommonKey { columns } => match self.common_key_gate(i, tuple, columns) {
-                Gate::Engage(key) => {
-                    self.enumerate_common_key(i, tuple, columns, key, f);
-                    true
-                }
-                Gate::Barren => true,
-                Gate::Fallback => {
-                    self.for_each_combination(i, tuple, f);
-                    false
-                }
-            },
-            ProbePlan::Star {
-                anchor,
-                anchor_cols,
-                other_cols,
-            } => {
-                let cols = StarCols {
-                    anchor_cols,
-                    other_cols,
-                };
-                let gate = if i == *anchor {
-                    self.star_anchor_gate(*anchor, tuple, &cols)
-                } else {
-                    self.star_satellite_gate(i, *anchor, tuple, &cols)
-                };
-                match gate {
-                    Gate::Engage(own_key) => {
-                        if i == *anchor {
-                            self.enumerate_star_anchor(i, tuple, &cols, f);
-                        } else {
-                            self.enumerate_star_satellite(i, *anchor, tuple, own_key, &cols, f);
-                        }
-                        true
-                    }
-                    Gate::Barren => true,
-                    Gate::Fallback => {
-                        self.for_each_combination(i, tuple, f);
-                        false
-                    }
-                }
-            }
-            ProbePlan::NestedLoop => {
-                self.for_each_combination(i, tuple, f);
-                false
-            }
-        }
-    }
-
-    fn enumerate_common_key<'a>(
-        &'a self,
-        i: usize,
-        tuple: &'a Tuple,
-        columns: &[usize],
-        key: i64,
-        f: &mut dyn FnMut(&[&'a Tuple]),
-    ) {
-        let m = self.windows.len();
-        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
-        for (j, w) in self.windows.iter().enumerate() {
-            if j == i {
-                continue;
-            }
-            match w.bucket(columns[j], key) {
-                Some(bucket) => levels.push((j, bucket)),
-                None => return, // one empty bucket kills every combination
-            }
-        }
-        let mut slots: Vec<&Tuple> = vec![tuple; m];
-        emit_product(&levels, &mut slots, f);
-    }
-
-    fn enumerate_star_anchor<'a>(
-        &'a self,
-        anchor: usize,
-        tuple: &'a Tuple,
-        cols: &StarCols<'_>,
-        f: &mut dyn FnMut(&[&'a Tuple]),
-    ) {
-        let m = self.windows.len();
-        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
-        for (j, w) in self.windows.iter().enumerate() {
-            if j == anchor {
-                continue;
-            }
-            let key = tuple
-                .value(cols.anchor_cols[j])
-                .and_then(Value::as_int)
-                .expect("gate guarantees integer pair keys");
-            match w.bucket(cols.other_cols[j], key) {
-                Some(bucket) => levels.push((j, bucket)),
-                None => return,
-            }
-        }
-        let mut slots: Vec<&Tuple> = vec![tuple; m];
-        emit_product(&levels, &mut slots, f);
-    }
-
-    fn enumerate_star_satellite<'a>(
-        &'a self,
-        i: usize,
-        anchor: usize,
-        tuple: &'a Tuple,
-        own_key: i64,
-        cols: &StarCols<'_>,
-        f: &mut dyn FnMut(&[&'a Tuple]),
-    ) {
-        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
-            return;
-        };
-        let m = self.windows.len();
-        let mut slots: Vec<&Tuple> = vec![tuple; m];
-        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m.saturating_sub(2));
-        'anchor: for a in anchor_bucket {
-            levels.clear();
-            for (k, w) in self.windows.iter().enumerate() {
-                if k == anchor || k == i {
-                    continue;
-                }
-                // Sound anchor column: non-integer values are inert here.
-                let key = match a.value(cols.anchor_cols[k]).and_then(Value::as_int) {
-                    Some(v) => v,
-                    None => continue 'anchor,
-                };
-                match w.bucket(cols.other_cols[k], key) {
-                    Some(bucket) => levels.push((k, bucket)),
-                    None => continue 'anchor,
-                }
-            }
-            slots[anchor] = a;
-            emit_product(&levels, &mut slots, f);
-        }
-    }
-
-    /// Invokes `f` for every combination of one live tuple per other stream
-    /// (plus the probing tuple at position `i`) that satisfies the join
-    /// condition.  Combinations are presented in stream order.
-    fn for_each_combination<'a>(
-        &'a self,
-        i: usize,
-        tuple: &'a Tuple,
-        f: &mut dyn FnMut(&[&'a Tuple]),
-    ) {
-        let m = self.windows.len();
-        let mut slots: Vec<&Tuple> = vec![tuple; m];
-        self.recurse(0, i, tuple, &mut slots, f);
-    }
-
-    fn recurse<'a>(
-        &'a self,
-        j: usize,
-        probe: usize,
-        tuple: &'a Tuple,
-        slots: &mut Vec<&'a Tuple>,
-        f: &mut dyn FnMut(&[&'a Tuple]),
-    ) {
-        if j == self.windows.len() {
-            if self.condition.matches(slots) {
-                f(slots);
-            }
-            return;
-        }
-        if j == probe {
-            slots[j] = tuple;
-            self.recurse(j + 1, probe, tuple, slots, f);
-        } else {
-            for candidate in self.windows[j].iter() {
-                slots[j] = candidate;
-                self.recurse(j + 1, probe, tuple, slots, f);
-            }
-        }
-    }
-}
-
-/// The two column maps of a star plan, bundled to keep signatures short.
-struct StarCols<'a> {
-    anchor_cols: &'a [usize],
-    other_cols: &'a [usize],
-}
-
-/// Emits the cross product of the given buckets into `slots` (one level per
-/// stream position), invoking `f` once per complete combination.  The plan
-/// gates guarantee every combination reached here satisfies the equi-join,
-/// so the condition is not re-evaluated.
-fn emit_product<'a>(
-    levels: &[(usize, &'a VecDeque<Tuple>)],
-    slots: &mut Vec<&'a Tuple>,
-    f: &mut dyn FnMut(&[&'a Tuple]),
-) {
-    match levels.split_first() {
-        None => f(slots),
-        Some((&(j, bucket), rest)) => {
-            for t in bucket {
-                slots[j] = t;
-                emit_product(rest, slots, f);
-            }
-        }
     }
 }
 
@@ -720,7 +233,7 @@ fn emit_product<'a>(
 mod tests {
     use super::*;
     use crate::condition::{CommonKeyEquiJoin, CrossJoin, DistanceWithin, StarEquiJoin};
-    use mswj_types::{FieldType, Schema, StreamSet, StreamSpec};
+    use mswj_types::{FieldType, Schema, StreamSet, StreamSpec, Value};
 
     fn equi_query(m: usize, window: u64) -> JoinQuery {
         let streams =
@@ -936,6 +449,26 @@ mod tests {
         assert!(!r.inserted);
         assert_eq!(op.stats().dropped, 1);
         assert_eq!(op.window(StreamIndex(1)).len(), 0);
+    }
+
+    #[test]
+    fn insert_late_bypasses_probing_and_the_scope_check() {
+        // The sharded engine decides ordering and scope globally; the shard
+        // must absorb the tuple as-is — no probing even when the tuple looks
+        // in-order to this (lagging) shard, no local scope veto.
+        let query = equi_query(2, 1_000);
+        let mut op = MswjOperator::new(query);
+        op.push(tup(0, 0, 100, 7));
+        // Locally in-order (ts 400 >= onT 100) but globally late: must not
+        // probe, must not advance onT, must still land in the window.
+        op.insert_late(tup(1, 0, 400, 7));
+        assert_eq!(op.on_t(), Timestamp::from_millis(100));
+        assert_eq!(op.stats().results, 0, "a late insert never probes");
+        assert_eq!(op.stats().out_of_order, 1);
+        assert_eq!(op.window(StreamIndex(1)).len(), 1);
+        // The absorbed tuple contributes to future probes.
+        let r = op.push(tup(0, 1, 500, 7));
+        assert_eq!(r.n_join, 1);
     }
 
     #[test]

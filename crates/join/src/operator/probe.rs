@@ -1,0 +1,478 @@
+//! Probe access paths: the per-probe soundness gates, index-assisted
+//! counting, indexed enumeration and the exhaustive nested-loop reference
+//! scan.
+//!
+//! Everything here is *read-only* over the windows: a probe never mutates
+//! operator state (expiry and insertion live in
+//! [`insert`](super::insert)).  The two entry points —
+//! `probe_count` and `probe_enumerate` — choose between the hash-indexed
+//! bucket walks and the nested-loop scan per probing tuple, according to
+//! the plan and the dynamic soundness gates documented in
+//! [`planner`](crate::planner).
+
+use super::MswjOperator;
+use crate::result::JoinResult;
+use crate::window::{classify, KeyClass};
+use mswj_types::{Tuple, Value};
+use std::collections::VecDeque;
+
+/// Per-probe decision of the indexed access path.
+enum Gate {
+    /// Hash lookups are provably equivalent to the scan for this probe.
+    /// Carries the probe's own bucket key (0 for anchor probes, which read
+    /// one key per satellite from the probing tuple instead).
+    Engage(i64),
+    /// The probing tuple's key is `Null` or missing: no combination can
+    /// satisfy the equi-join, so the probe derives zero results without
+    /// touching any window.
+    Barren,
+    /// Equivalence cannot be guaranteed (non-integer key values in play):
+    /// the probe must use the exhaustive nested-loop scan.
+    Fallback,
+}
+
+/// The two column maps of a star plan, bundled to keep signatures short.
+struct StarCols<'a> {
+    anchor_cols: &'a [usize],
+    other_cols: &'a [usize],
+}
+
+use crate::planner::ProbePlan;
+
+impl MswjOperator {
+    /// Product of the other windows' cardinalities: the cross-join size at
+    /// the arrival of a probing tuple of stream `i`.
+    pub(super) fn cross_size(&self, i: usize) -> u64 {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, w)| w.len() as u64)
+            .product()
+    }
+
+    // ------------------------------------------------------------------
+    // Per-probe gates: when is the indexed path provably equivalent?
+    // ------------------------------------------------------------------
+
+    /// Classifies the probing tuple's own key value, with the same
+    /// [`KeyClass`] rules the windows use for index maintenance — the gate
+    /// is only sound because the two sides agree case-for-case.
+    fn classify_probe(v: Option<&Value>) -> Gate {
+        match classify(v) {
+            // Null/missing keys fail every join_eq comparison.
+            KeyClass::Inert => Gate::Barren,
+            KeyClass::Key(k) => Gate::Engage(k),
+            // Floats can equal integers under join_eq's numeric coercion,
+            // and strings/bools can equal their own kind in other windows —
+            // neither is answerable from the i64 buckets.
+            KeyClass::Unindexable => Gate::Fallback,
+        }
+    }
+
+    fn common_key_gate(&self, i: usize, tuple: &Tuple, columns: &[usize]) -> Gate {
+        let key = match Self::classify_probe(tuple.value(columns[i])) {
+            Gate::Engage(k) => k,
+            other => return other,
+        };
+        for (j, w) in self.windows.iter().enumerate() {
+            if j != i && !w.index_usable(columns[j]) {
+                return Gate::Fallback;
+            }
+        }
+        Gate::Engage(key)
+    }
+
+    fn star_anchor_gate(&self, anchor: usize, tuple: &Tuple, cols: &StarCols<'_>) -> Gate {
+        let mut fallback = false;
+        for j in 0..self.windows.len() {
+            if j == anchor {
+                continue;
+            }
+            match Self::classify_probe(tuple.value(cols.anchor_cols[j])) {
+                // A Null/missing pair key fails every combination outright,
+                // regardless of any soundness concern elsewhere.
+                Gate::Barren => return Gate::Barren,
+                Gate::Fallback => fallback = true,
+                Gate::Engage(_) => {}
+            }
+            if !self.windows[j].index_usable(cols.other_cols[j]) {
+                fallback = true;
+            }
+        }
+        if fallback {
+            Gate::Fallback
+        } else {
+            Gate::Engage(0)
+        }
+    }
+
+    fn star_satellite_gate(
+        &self,
+        i: usize,
+        anchor: usize,
+        tuple: &Tuple,
+        cols: &StarCols<'_>,
+    ) -> Gate {
+        let key = match Self::classify_probe(tuple.value(cols.other_cols[i])) {
+            Gate::Engage(k) => k,
+            other => return other,
+        };
+        // The anchor window must be sound on *every* anchor-side column:
+        // on anchor_cols[i] for the bucket lookup itself, and on the other
+        // pair columns so that skipping non-integer anchor values (which
+        // are then provably inert) is equivalent to the scan.
+        for j in 0..self.windows.len() {
+            if j == anchor {
+                continue;
+            }
+            if !self.windows[anchor].index_usable(cols.anchor_cols[j]) {
+                return Gate::Fallback;
+            }
+            if j != i && !self.windows[j].index_usable(cols.other_cols[j]) {
+                return Gate::Fallback;
+            }
+        }
+        Gate::Engage(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Counting probes
+    // ------------------------------------------------------------------
+
+    /// Index-assisted (or enumerated) count of the join results derived by
+    /// a probing tuple of stream `i`; the flag reports whether the probe
+    /// avoided a window scan.
+    pub(super) fn probe_count(&self, i: usize, tuple: &Tuple) -> (u64, bool) {
+        match &self.plan {
+            ProbePlan::CommonKey { columns } => match self.common_key_gate(i, tuple, columns) {
+                Gate::Engage(key) => {
+                    let mut product = 1u64;
+                    for (j, w) in self.windows.iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        let c = w.count_key(columns[j], key);
+                        if c == 0 {
+                            return (0, true);
+                        }
+                        product = product.saturating_mul(c);
+                    }
+                    (product, true)
+                }
+                Gate::Barren => (0, true),
+                Gate::Fallback => (self.enumerate_count(i, tuple), false),
+            },
+            ProbePlan::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            } => {
+                let cols = StarCols {
+                    anchor_cols,
+                    other_cols,
+                };
+                if i == *anchor {
+                    match self.star_anchor_gate(*anchor, tuple, &cols) {
+                        Gate::Engage(_) => {
+                            let mut product = 1u64;
+                            for (j, w) in self.windows.iter().enumerate() {
+                                if j == *anchor {
+                                    continue;
+                                }
+                                let key = tuple
+                                    .value(anchor_cols[j])
+                                    .and_then(Value::as_int)
+                                    .expect("gate guarantees integer pair keys");
+                                let c = w.count_key(other_cols[j], key);
+                                if c == 0 {
+                                    return (0, true);
+                                }
+                                product = product.saturating_mul(c);
+                            }
+                            (product, true)
+                        }
+                        Gate::Barren => (0, true),
+                        Gate::Fallback => (self.enumerate_count(i, tuple), false),
+                    }
+                } else {
+                    match self.star_satellite_gate(i, *anchor, tuple, &cols) {
+                        Gate::Engage(own_key) => {
+                            (self.count_star_satellite(i, *anchor, own_key, &cols), true)
+                        }
+                        Gate::Barren => (0, true),
+                        Gate::Fallback => (self.enumerate_count(i, tuple), false),
+                    }
+                }
+            }
+            ProbePlan::NestedLoop => (self.enumerate_count(i, tuple), false),
+        }
+    }
+
+    /// Satellite-probe counting: walk only the anchor tuples in the
+    /// matching bucket and multiply the other satellites' bucket sizes.
+    fn count_star_satellite(
+        &self,
+        i: usize,
+        anchor: usize,
+        own_key: i64,
+        cols: &StarCols<'_>,
+    ) -> u64 {
+        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
+            return 0;
+        };
+        let mut total = 0u64;
+        'anchor: for a in anchor_bucket {
+            let mut product = 1u64;
+            for (k, w) in self.windows.iter().enumerate() {
+                if k == anchor || k == i {
+                    continue;
+                }
+                // The gate proved the anchor window sound on this column,
+                // so a non-integer value here is inert and never joins.
+                let key = match a.value(cols.anchor_cols[k]).and_then(Value::as_int) {
+                    Some(v) => v,
+                    None => continue 'anchor,
+                };
+                let c = w.count_key(cols.other_cols[k], key);
+                if c == 0 {
+                    continue 'anchor;
+                }
+                product = product.saturating_mul(c);
+            }
+            total = total.saturating_add(product);
+        }
+        total
+    }
+
+    /// Nested-loop count of matching combinations for arbitrary conditions.
+    fn enumerate_count(&self, i: usize, tuple: &Tuple) -> u64 {
+        let mut count = 0u64;
+        self.for_each_combination(i, tuple, &mut |_| count += 1);
+        count
+    }
+
+    // ------------------------------------------------------------------
+    // Enumerating probes
+    // ------------------------------------------------------------------
+
+    /// Invokes `f` for every matching combination (one live tuple per other
+    /// stream plus the probing tuple at position `i`), choosing the indexed
+    /// bucket walk when the gate allows it and the exhaustive scan
+    /// otherwise.  Returns whether a window scan was avoided.
+    pub(super) fn probe_enumerate<'a>(
+        &'a self,
+        i: usize,
+        tuple: &'a Tuple,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) -> bool {
+        match &self.plan {
+            ProbePlan::CommonKey { columns } => match self.common_key_gate(i, tuple, columns) {
+                Gate::Engage(key) => {
+                    self.enumerate_common_key(i, tuple, columns, key, f);
+                    true
+                }
+                Gate::Barren => true,
+                Gate::Fallback => {
+                    self.for_each_combination(i, tuple, f);
+                    false
+                }
+            },
+            ProbePlan::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            } => {
+                let cols = StarCols {
+                    anchor_cols,
+                    other_cols,
+                };
+                let gate = if i == *anchor {
+                    self.star_anchor_gate(*anchor, tuple, &cols)
+                } else {
+                    self.star_satellite_gate(i, *anchor, tuple, &cols)
+                };
+                match gate {
+                    Gate::Engage(own_key) => {
+                        if i == *anchor {
+                            self.enumerate_star_anchor(i, tuple, &cols, f);
+                        } else {
+                            self.enumerate_star_satellite(i, *anchor, tuple, own_key, &cols, f);
+                        }
+                        true
+                    }
+                    Gate::Barren => true,
+                    Gate::Fallback => {
+                        self.for_each_combination(i, tuple, f);
+                        false
+                    }
+                }
+            }
+            ProbePlan::NestedLoop => {
+                self.for_each_combination(i, tuple, f);
+                false
+            }
+        }
+    }
+
+    fn enumerate_common_key<'a>(
+        &'a self,
+        i: usize,
+        tuple: &'a Tuple,
+        columns: &[usize],
+        key: i64,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let m = self.windows.len();
+        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
+        for (j, w) in self.windows.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            match w.bucket(columns[j], key) {
+                Some(bucket) => levels.push((j, bucket)),
+                None => return, // one empty bucket kills every combination
+            }
+        }
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        emit_product(&levels, &mut slots, f);
+    }
+
+    fn enumerate_star_anchor<'a>(
+        &'a self,
+        anchor: usize,
+        tuple: &'a Tuple,
+        cols: &StarCols<'_>,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let m = self.windows.len();
+        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
+        for (j, w) in self.windows.iter().enumerate() {
+            if j == anchor {
+                continue;
+            }
+            let key = tuple
+                .value(cols.anchor_cols[j])
+                .and_then(Value::as_int)
+                .expect("gate guarantees integer pair keys");
+            match w.bucket(cols.other_cols[j], key) {
+                Some(bucket) => levels.push((j, bucket)),
+                None => return,
+            }
+        }
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        emit_product(&levels, &mut slots, f);
+    }
+
+    fn enumerate_star_satellite<'a>(
+        &'a self,
+        i: usize,
+        anchor: usize,
+        tuple: &'a Tuple,
+        own_key: i64,
+        cols: &StarCols<'_>,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
+            return;
+        };
+        let m = self.windows.len();
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m.saturating_sub(2));
+        'anchor: for a in anchor_bucket {
+            levels.clear();
+            for (k, w) in self.windows.iter().enumerate() {
+                if k == anchor || k == i {
+                    continue;
+                }
+                // Sound anchor column: non-integer values are inert here.
+                let key = match a.value(cols.anchor_cols[k]).and_then(Value::as_int) {
+                    Some(v) => v,
+                    None => continue 'anchor,
+                };
+                match w.bucket(cols.other_cols[k], key) {
+                    Some(bucket) => levels.push((k, bucket)),
+                    None => continue 'anchor,
+                }
+            }
+            slots[anchor] = a;
+            emit_product(&levels, &mut slots, f);
+        }
+    }
+
+    /// Invokes `f` for every combination of one live tuple per other stream
+    /// (plus the probing tuple at position `i`) that satisfies the join
+    /// condition.  Combinations are presented in stream order.
+    fn for_each_combination<'a>(
+        &'a self,
+        i: usize,
+        tuple: &'a Tuple,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        let m = self.windows.len();
+        let mut slots: Vec<&Tuple> = vec![tuple; m];
+        self.recurse(0, i, tuple, &mut slots, f);
+    }
+
+    fn recurse<'a>(
+        &'a self,
+        j: usize,
+        probe: usize,
+        tuple: &'a Tuple,
+        slots: &mut Vec<&'a Tuple>,
+        f: &mut dyn FnMut(&[&'a Tuple]),
+    ) {
+        if j == self.windows.len() {
+            if self.condition.matches(slots) {
+                f(slots);
+            }
+            return;
+        }
+        if j == probe {
+            slots[j] = tuple;
+            self.recurse(j + 1, probe, tuple, slots, f);
+        } else {
+            for candidate in self.windows[j].iter() {
+                slots[j] = candidate;
+                self.recurse(j + 1, probe, tuple, slots, f);
+            }
+        }
+    }
+
+    /// Materializes the probe of an enumerating operator, forwarding each
+    /// combination to `emit` as an owned [`JoinResult`]; returns the result
+    /// count and whether the probe stayed indexed.
+    pub(super) fn probe_materialize(
+        &self,
+        i: usize,
+        tuple: &Tuple,
+        emit: &mut dyn FnMut(JoinResult),
+    ) -> (u64, bool) {
+        let mut n_join = 0u64;
+        let indexed = self.probe_enumerate(i, tuple, &mut |combo| {
+            n_join += 1;
+            emit(JoinResult::new(combo.iter().map(|&t| t.clone()).collect()));
+        });
+        (n_join, indexed)
+    }
+}
+
+/// Emits the cross product of the given buckets into `slots` (one level per
+/// stream position), invoking `f` once per complete combination.  The plan
+/// gates guarantee every combination reached here satisfies the equi-join,
+/// so the condition is not re-evaluated.
+fn emit_product<'a>(
+    levels: &[(usize, &'a VecDeque<Tuple>)],
+    slots: &mut Vec<&'a Tuple>,
+    f: &mut dyn FnMut(&[&'a Tuple]),
+) {
+    match levels.split_first() {
+        None => f(slots),
+        Some((&(j, bucket), rest)) => {
+            for t in bucket {
+                slots[j] = t;
+                emit_product(rest, slots, f);
+            }
+        }
+    }
+}

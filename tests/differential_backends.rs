@@ -1,0 +1,335 @@
+//! Differential harness for the sharded execution backends.
+//!
+//! Every randomized m-way workload is run through sessions that differ
+//! **only** in the execution backend of the join stage:
+//! [`ExecutionBackend::Sequential`] (one shard, byte-identical to the
+//! pre-engine pipeline), `Threads(1)` (the sharded machinery on one shard)
+//! and `Threads(4)` (key-partitioned across four shards, executed by four
+//! scoped workers, merged in deterministic shard order).  The sessions must
+//! emit byte-identical multisets of [`JoinResult`]s, the same per-probe
+//! result trajectory and — because the engine computes `n_x(e)` and expiry
+//! globally — the very same adaptation (checkpoint-K) sequence, under
+//! out-of-order arrivals, K-slack shrinks and expansions, common-key and
+//! star shapes, adversarial mixed-type keys and unpartitionable
+//! conditions.
+//!
+//! Well over 60 randomized workloads run across the tests below
+//! (30 common-key + 15 star + 15 mixed-type + 6 unpartitionable), each
+//! compared across three backends and, in the common-key test, also
+//! between single-event and batched ingestion.
+
+use mswj::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Canonical multiset encoding of materialized results.
+fn canon(results: &[JoinResult]) -> Vec<String> {
+    let mut v: Vec<String> = results.iter().map(|r| r.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Runs one materializing session over `events` on the given backend.
+/// `batch` > 1 drives it through `push_batch_into` in chunks of that size.
+fn run(
+    query: &JoinQuery,
+    policy: &BufferPolicy,
+    backend: ExecutionBackend,
+    batch: usize,
+    events: &[ArrivalEvent],
+) -> (Vec<String>, RunReport) {
+    let mut pipeline = Pipeline::builder()
+        .query(query.clone())
+        .policy(policy.clone())
+        .parallelism(backend)
+        .materialize_results()
+        .build()
+        .unwrap();
+    let mut sink = CollectSink::default();
+    if batch <= 1 {
+        for e in events {
+            pipeline.push_into(e.clone(), &mut sink);
+        }
+    } else {
+        for chunk in events.chunks(batch) {
+            pipeline.push_batch_into(chunk.iter().cloned(), &mut sink);
+        }
+    }
+    let report = pipeline.finish_into(&mut sink);
+    assert_eq!(
+        sink.results.len() as u64,
+        report.total_produced,
+        "sink must see exactly the results the report counts"
+    );
+    let shard_results: u64 = report.shard_stats.iter().map(|s| s.results).sum();
+    assert_eq!(
+        shard_results, report.total_produced,
+        "per-shard result counters must sum to the total"
+    );
+    (canon(&sink.results), report)
+}
+
+/// Asserts that `Threads(1)` and `Threads(4)` agree with the `Sequential`
+/// reference on results, per-probe trajectory, ordering statistics and the
+/// adaptation (checkpoint-K) sequence; returns the sequential report.
+fn assert_backends_agree(
+    query: &JoinQuery,
+    policy: &BufferPolicy,
+    events: &[ArrivalEvent],
+    label: &str,
+) -> RunReport {
+    let (seq_results, seq_report) = run(query, policy, ExecutionBackend::Sequential, 1, events);
+    for (backend, batch) in [
+        (ExecutionBackend::Threads(1), 1),
+        (ExecutionBackend::Threads(4), 64),
+    ] {
+        let (results, report) = run(query, policy, backend, batch, events);
+        assert_eq!(
+            seq_results, results,
+            "[{label}] {backend} must produce a byte-identical result multiset"
+        );
+        assert_eq!(seq_report.total_produced, report.total_produced);
+        assert_eq!(
+            seq_report.produced, report.produced,
+            "[{label}] {backend} per-probe result trajectory diverged"
+        );
+        let ks = |r: &RunReport| r.checkpoints.iter().map(|c| c.k).collect::<Vec<_>>();
+        assert_eq!(
+            ks(&seq_report),
+            ks(&report),
+            "[{label}] {backend} adaptation trajectory diverged"
+        );
+        let s = (seq_report.operator_stats, report.operator_stats);
+        assert_eq!(s.0.in_order, s.1.in_order, "[{label}] {backend}");
+        assert_eq!(s.0.out_of_order, s.1.out_of_order, "[{label}] {backend}");
+        assert_eq!(s.0.dropped, s.1.dropped, "[{label}] {backend}");
+        assert_eq!(s.0.expired, s.1.expired, "[{label}] {backend}");
+        assert_eq!(s.0.cross_results, s.1.cross_results, "[{label}] {backend}");
+    }
+    seq_report
+}
+
+/// Rotates through every buffer-size policy, biased towards quality-driven
+/// sessions whose adaptation both shrinks and expands K mid-run.
+fn policy_for(case: usize, rng: &mut StdRng) -> BufferPolicy {
+    match case % 5 {
+        0 => BufferPolicy::NoKSlack,
+        1 => BufferPolicy::MaxKSlack,
+        2 => BufferPolicy::FixedK(rng.gen_range(40u64..400)),
+        _ => BufferPolicy::QualityDriven(
+            DisorderConfig::with_gamma(rng.gen_range(0.7f64..0.99))
+                .period(1_000)
+                .interval(250)
+                .granularity(20)
+                .basic_window(20),
+        ),
+    }
+}
+
+/// One tuple every 10 ms per stream, with bursty delays (alternating calm
+/// and chaotic phases) so adaptive policies shrink *and* expand K.
+fn gen_events(
+    rng: &mut StdRng,
+    m: usize,
+    per_stream: usize,
+    max_delay: u64,
+    mut value_of: impl FnMut(&mut StdRng, usize, i64) -> Vec<Value>,
+    domain: i64,
+) -> Vec<ArrivalEvent> {
+    let mut events = Vec::with_capacity(m * per_stream);
+    for stream in 0..m {
+        for j in 0..per_stream {
+            let arrival = (j as u64 + 1) * 10 + rng.gen_range(0u64..5);
+            let calm = (j / 15) % 2 == 0;
+            let delay = if calm {
+                rng.gen_range(0u64..=max_delay / 8 + 1)
+            } else {
+                rng.gen_range(0u64..=max_delay)
+            };
+            let ts = arrival.saturating_sub(delay);
+            let key = rng.gen_range(0i64..domain);
+            events.push(ArrivalEvent::new(
+                Timestamp::from_millis(arrival),
+                Tuple::new(
+                    stream.into(),
+                    j as u64,
+                    Timestamp::from_millis(ts),
+                    value_of(rng, stream, key),
+                ),
+            ));
+        }
+    }
+    ArrivalLog::from_events(events).events().to_vec()
+}
+
+fn common_key_query(m: usize, window: u64) -> JoinQuery {
+    let streams =
+        StreamSet::homogeneous(m, Schema::new(vec![("a1", FieldType::Int)]), window).unwrap();
+    let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+    JoinQuery::new("diff-backend-common", streams, cond).unwrap()
+}
+
+/// 3-way star: anchor S1(a1, a2) joined with S2(a1) and S3(a2) — S3 is
+/// outside the partition pair and exercises the broadcast path.
+fn star_query(window: u64) -> JoinQuery {
+    let streams = StreamSet::new(vec![
+        StreamSpec::new(
+            "S1",
+            Schema::new(vec![("a1", FieldType::Int), ("a2", FieldType::Int)]),
+            window,
+        ),
+        StreamSpec::new("S2", Schema::new(vec![("a1", FieldType::Int)]), window),
+        StreamSpec::new("S3", Schema::new(vec![("a2", FieldType::Int)]), window),
+    ])
+    .unwrap();
+    let cond =
+        Arc::new(StarEquiJoin::new(&streams, 0, &[(1, "a1", "a1"), (2, "a2", "a2")]).unwrap());
+    JoinQuery::new("diff-backend-star", streams, cond).unwrap()
+}
+
+#[test]
+fn common_key_workloads_agree_across_backends() {
+    let mut k_shrunk = false;
+    let mut k_expanded = false;
+    let mut any_results = 0u64;
+    for case in 0..30usize {
+        let mut rng = StdRng::seed_from_u64(0x0BAC_CE4D + case as u64);
+        let m = 2 + case % 2;
+        let window = if m == 2 {
+            rng.gen_range(300u64..1_200)
+        } else {
+            rng.gen_range(200u64..500)
+        };
+        let domain = if m == 2 { 6 } else { 8 };
+        let query = common_key_query(m, window);
+        let policy = policy_for(case, &mut rng);
+        let events = gen_events(
+            &mut rng,
+            m,
+            if m == 2 { 90 } else { 70 },
+            300,
+            |_, _, key| vec![Value::Int(key)],
+            domain,
+        );
+        let report = assert_backends_agree(&query, &policy, &events, &format!("common #{case}"));
+        any_results += report.total_produced;
+        for w in report.checkpoints.windows(2) {
+            k_shrunk |= w[1].k < w[0].k;
+            k_expanded |= w[1].k > w[0].k;
+        }
+    }
+    assert!(any_results > 0, "workloads must derive join results");
+    assert!(
+        k_shrunk && k_expanded,
+        "adaptive sessions must both shrink and expand K across the workloads \
+         (shrunk: {k_shrunk}, expanded: {k_expanded})"
+    );
+}
+
+#[test]
+fn star_workloads_agree_across_backends() {
+    let mut any_results = 0u64;
+    for case in 0..15usize {
+        let mut rng = StdRng::seed_from_u64(0x57A2_BACC + case as u64);
+        let window = rng.gen_range(200u64..500);
+        let query = star_query(window);
+        let policy = policy_for(case, &mut rng);
+        let events = gen_events(
+            &mut rng,
+            3,
+            70,
+            250,
+            |rng, stream, key| {
+                if stream == 0 {
+                    vec![Value::Int(key), Value::Int(rng.gen_range(0i64..5))]
+                } else {
+                    vec![Value::Int(key)]
+                }
+            },
+            5,
+        );
+        let report = assert_backends_agree(&query, &policy, &events, &format!("star #{case}"));
+        any_results += report.total_produced;
+    }
+    assert!(any_results > 0, "star workloads must derive join results");
+}
+
+#[test]
+fn mixed_type_keys_agree_across_backends() {
+    // Adversarial key columns: floats that join integers numerically
+    // (join_eq coercion — the partitioner must route them with the
+    // integer's hash), floats that join nothing, Nulls and strings.
+    let mut any_results = 0u64;
+    for case in 0..15usize {
+        let mut rng = StdRng::seed_from_u64(0xF10A_7BAC + case as u64);
+        let m = 2 + case % 2;
+        let window = if m == 2 { 600 } else { 350 };
+        let query = common_key_query(m, window);
+        let policy = policy_for(case + 3, &mut rng);
+        let events = gen_events(
+            &mut rng,
+            m,
+            60,
+            200,
+            |rng, _, key| {
+                let roll = rng.gen_range(0u64..20);
+                vec![match roll {
+                    0 => Value::Float(key as f64),       // numerically joins Int(key)
+                    1 => Value::Float(key as f64 + 0.5), // joins nothing
+                    2 => Value::Null,
+                    3 => Value::Str(format!("s{key}")),
+                    _ => Value::Int(key),
+                }]
+            },
+            4,
+        );
+        let report = assert_backends_agree(&query, &policy, &events, &format!("mixed #{case}"));
+        any_results += report.total_produced;
+    }
+    assert!(any_results > 0, "mixed workloads must derive join results");
+}
+
+#[test]
+fn unpartitionable_conditions_fall_back_to_one_shard() {
+    // Cross joins, band joins and forced nested-loop probes expose no key
+    // to partition on: Threads(4) must transparently degrade to a single
+    // broadcast shard and still match the sequential reference.
+    for case in 0..6usize {
+        let mut rng = StdRng::seed_from_u64(0x0B0A_DCA5 + case as u64);
+        let policy = policy_for(case, &mut rng);
+        let events = gen_events(&mut rng, 2, 50, 150, |_, _, key| vec![Value::Int(key)], 3);
+        let streams =
+            StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), 300).unwrap();
+        let query = match case % 2 {
+            0 => JoinQuery::new("diff-cross", streams, Arc::new(CrossJoin::new(2))).unwrap(),
+            _ => JoinQuery::new(
+                "diff-band",
+                streams.clone(),
+                Arc::new(BandJoin::new(&streams, "a1", 1.0).unwrap()),
+            )
+            .unwrap(),
+        };
+        let label = format!("unpartitionable #{case}");
+        let _ = assert_backends_agree(&query, &policy, &events, &label);
+        // The engine must have collapsed to one shard.
+        let p = Pipeline::builder()
+            .query(query)
+            .policy(policy)
+            .parallelism(ExecutionBackend::Threads(4))
+            .build()
+            .unwrap();
+        assert_eq!(p.engine().shard_count(), 1, "[{label}]");
+    }
+}
+
+#[test]
+fn threads_zero_is_rejected_at_build() {
+    let r = Pipeline::builder()
+        .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
+        .on_common_key("a1")
+        .no_k_slack()
+        .parallelism(ExecutionBackend::Threads(0))
+        .build();
+    assert!(r.is_err(), "Threads(0) must be rejected");
+}
