@@ -323,8 +323,14 @@ impl SessionBuilder {
     /// equi-join key across `n` shards and executes each batch on `n`
     /// scoped worker threads, merging outputs in deterministic shard order;
     /// feed it through [`Pipeline::push_batch_into`] to amortize the
-    /// fan-out.  Conditions without a partitionable equi structure fall
-    /// back to one broadcast shard transparently.
+    /// fan-out.  [`ExecutionBackend::Pool`] keeps `workers` **resident**
+    /// shard workers alive for the session's lifetime (spawned at
+    /// `build()`, joined on drop) and pipelines batched ingestion against
+    /// front-end routing — the better choice for continuous streams, small
+    /// batches and single-event pushes.  Both parallel backends execute
+    /// sub-threshold batches inline, so `push_into` never pays a spawn or
+    /// enqueue round-trip.  Conditions without a partitionable equi
+    /// structure fall back to one broadcast shard transparently.
     pub fn parallelism(mut self, backend: ExecutionBackend) -> Self {
         self.backend = backend;
         self
@@ -338,14 +344,22 @@ impl SessionBuilder {
     /// or inconsistent: fewer than two streams, duplicate stream names, a
     /// missing join condition, a condition whose arity disagrees with the
     /// stream count, both a prebuilt query and inline streams, disorder
-    /// overrides on a policy without a configuration, a zero-thread
-    /// [`ExecutionBackend::Threads`], or a [`DisorderConfig`] violating
-    /// `0 < Γ ≤ 1`, `0 < L ≤ P`, `b > 0`, `g > 0`.
+    /// overrides on a policy without a configuration, a zero-worker
+    /// [`ExecutionBackend::Threads`] or [`ExecutionBackend::Pool`], or a
+    /// [`DisorderConfig`] violating `0 < Γ ≤ 1`, `0 < L ≤ P`, `b > 0`,
+    /// `g > 0`.
     pub fn build(self) -> Result<Pipeline> {
         if self.backend == ExecutionBackend::Threads(0) {
             return Err(Error::InvalidConfig(
                 "parallelism(Threads(0)) has no workers to run on; use Threads(1..) or \
                  the Sequential backend"
+                    .into(),
+            ));
+        }
+        if self.backend == (ExecutionBackend::Pool { workers: 0 }) {
+            return Err(Error::InvalidConfig(
+                "parallelism(Pool { workers: 0 }) has no workers to run on; use \
+                 Pool { workers: 1.. } or the Sequential backend"
                     .into(),
             ));
         }

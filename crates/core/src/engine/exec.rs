@@ -1,24 +1,65 @@
 //! Execution backends: how a routed batch of shard work actually runs.
 //!
-//! Both executors consume the same per-shard queues produced by the
-//! engine's routing phase and deliver the same event stream:
+//! All executors consume the same per-shard queues produced by the engine's
+//! routing phase and deliver the same event stream:
 //!
 //! * [`run_inline`] processes the batch on the calling thread, tuple by
 //!   tuple in staging order — the [`Sequential`](super::ExecutionBackend)
-//!   backend, and the degenerate single-shard case of `Threads`.
-//! * [`run_threaded`] + [`merge_threaded`] fan the queues out to one scoped
-//!   worker per shard (`std::thread::scope`), then merge the collected
-//!   sub-outcomes and materialized results back **in staging order, shard
-//!   order within a tuple** — so the emitted event stream is deterministic
-//!   regardless of thread scheduling.
+//!   backend, the degenerate single-shard case of the parallel backends,
+//!   and the sub-threshold fallback both parallel backends take for small
+//!   batches.  It is generic over [`ShardAccess`] so the same loop serves
+//!   engine-owned shards (`Sequential`/`Threads`) and the mutex-held shards
+//!   of the resident pool.
+//! * [`run_threaded`] fans the queues out to one scoped worker per shard
+//!   (`std::thread::scope`), each draining its queue via [`drain_queue`]
+//!   into `(seq, …)`-tagged buffers.
+//! * The resident [`pool`](super::pool) workers run [`drain_queue`] too —
+//!   same inner loop, persistent threads.
+//!
+//! Whatever filled the buffers, [`merge_epoch`] replays them **in staging
+//! order, shard order within a tuple**, so the emitted event stream is
+//! deterministic regardless of thread scheduling.
 
-use super::{Decision, EngineEvent, Item, Placement, SubOutcome};
+use super::{Decision, EngineEvent, Item, Placement, ShardRuntimeStats, SubOutcome};
 use mswj_join::{JoinResult, MswjOperator, OperatorStats, ProbeOutcome};
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Uniform mutable access to the shard operators, whether the engine owns
+/// them directly or they sit behind the pool's mutexes (uncontended at
+/// fallback time — workers only lock while executing an epoch, and the
+/// engine runs inline only when no epoch is in flight).
+pub(super) trait ShardAccess {
+    /// Runs `f` with exclusive access to shard `s`.
+    fn with<R>(&mut self, s: usize, f: impl FnOnce(&mut MswjOperator) -> R) -> R;
+    /// Number of shards.
+    fn count(&self) -> usize;
+}
+
+impl ShardAccess for [MswjOperator] {
+    fn with<R>(&mut self, s: usize, f: impl FnOnce(&mut MswjOperator) -> R) -> R {
+        f(&mut self[s])
+    }
+
+    fn count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl ShardAccess for [Arc<Mutex<MswjOperator>>] {
+    fn with<R>(&mut self, s: usize, f: impl FnOnce(&mut MswjOperator) -> R) -> R {
+        f(&mut self[s].lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn count(&self) -> usize {
+        self.len()
+    }
+}
 
 /// Folds one finished tuple into the aggregate stats and emits its
 /// [`EngineEvent::Done`].  This is the single place where the engine's
-/// sequential-equivalent accounting happens, shared by both executors.
+/// sequential-equivalent accounting happens, shared by every executor.
 fn finish_tuple(
     d: Decision,
     n_join: u64,
@@ -75,8 +116,8 @@ fn run_item(
 /// Single-threaded execution: items run in staging order (broadcast tuples
 /// visit their shards in shard order), streaming events into `f` with no
 /// intermediate buffering.
-pub(super) fn run_inline(
-    shards: &mut [MswjOperator],
+pub(super) fn run_inline<S: ShardAccess + ?Sized>(
+    shards: &mut S,
     queues: &mut [VecDeque<Item>],
     decisions: &[Decision],
     stats: &mut OperatorStats,
@@ -88,13 +129,18 @@ pub(super) fn run_inline(
         match d.placement {
             Placement::None => {}
             Placement::One(s) => {
-                let item = queues[s as usize].pop_front().expect("routed item");
-                run_item(&mut shards[s as usize], item, &mut n_join, &mut indexed, f);
+                let s = s as usize;
+                let item = queues[s].pop_front().expect("routed item");
+                shards.with(s, |shard| {
+                    run_item(shard, item, &mut n_join, &mut indexed, f)
+                });
             }
             Placement::All => {
-                for (shard, queue) in shards.iter_mut().zip(queues.iter_mut()) {
+                for (s, queue) in queues.iter_mut().enumerate().take(shards.count()) {
                     let item = queue.pop_front().expect("broadcast item");
-                    run_item(shard, item, &mut n_join, &mut indexed, f);
+                    shards.with(s, |shard| {
+                        run_item(shard, item, &mut n_join, &mut indexed, f)
+                    });
                 }
             }
         }
@@ -102,48 +148,66 @@ pub(super) fn run_inline(
     }
 }
 
+/// Drains one shard's queue in order, collecting `(seq, …)`-tagged
+/// sub-outcomes and materialized results — the inner loop shared by the
+/// scoped `Threads` workers and the resident pool workers.  Workers never
+/// touch the caller's sink; determinism is restored by [`merge_epoch`].
+pub(super) fn drain_queue(
+    shard: &mut MswjOperator,
+    items: &mut VecDeque<Item>,
+    sub: &mut Vec<SubOutcome>,
+    mat: &mut Vec<(u32, JoinResult)>,
+) {
+    while let Some(item) = items.pop_front() {
+        if item.probe {
+            let seq = item.seq;
+            let o = shard.push_with(item.tuple, &mut |r| mat.push((seq, r)));
+            sub.push(SubOutcome {
+                seq,
+                n_join: o.n_join,
+                indexed: o.indexed,
+            });
+        } else {
+            shard.insert_late(item.tuple);
+        }
+    }
+}
+
 /// Parallel execution: one scoped worker per non-empty shard queue drains
-/// its queue in order, collecting `(seq, …)`-tagged sub-outcomes and
-/// materialized results into that shard's buffers.  Workers never touch the
-/// caller's sink — determinism is restored by [`merge_threaded`].
+/// its queue into that shard's buffers, recording the worker's busy time in
+/// the shard's runtime counters.
 pub(super) fn run_threaded(
     shards: &mut [MswjOperator],
     queues: &mut [VecDeque<Item>],
     sub: &mut [Vec<SubOutcome>],
     mat: &mut [Vec<(u32, JoinResult)>],
+    runtime: &mut [ShardRuntimeStats],
 ) {
     std::thread::scope(|scope| {
-        for ((shard, queue), (sub_s, mat_s)) in shards
+        for (((shard, queue), (sub_s, mat_s)), rt) in shards
             .iter_mut()
             .zip(queues.iter_mut())
             .zip(sub.iter_mut().zip(mat.iter_mut()))
+            .zip(runtime.iter_mut())
         {
             if queue.is_empty() {
                 continue;
             }
+            rt.epochs_enqueued += 1;
             scope.spawn(move || {
-                while let Some(item) = queue.pop_front() {
-                    if item.probe {
-                        let seq = item.seq;
-                        let o = shard.push_with(item.tuple, &mut |r| mat_s.push((seq, r)));
-                        sub_s.push(SubOutcome {
-                            seq,
-                            n_join: o.n_join,
-                            indexed: o.indexed,
-                        });
-                    } else {
-                        shard.insert_late(item.tuple);
-                    }
-                }
+                let started = Instant::now();
+                drain_queue(shard, queue, sub_s, mat_s);
+                rt.busy_nanos += started.elapsed().as_nanos() as u64;
+                rt.epochs_executed += 1;
             });
         }
     });
 }
 
-/// Replays the per-shard buffers filled by [`run_threaded`] in staging
-/// order (shard order within each tuple), emitting the same event stream
-/// [`run_inline`] would have produced.
-pub(super) fn merge_threaded(
+/// Replays the per-shard buffers filled by [`run_threaded`] or collected
+/// from the resident pool in staging order (shard order within each tuple),
+/// emitting the same event stream [`run_inline`] would have produced.
+pub(super) fn merge_epoch(
     decisions: &[Decision],
     sub: &mut [Vec<SubOutcome>],
     mat: &mut [Vec<(u32, JoinResult)>],

@@ -30,14 +30,38 @@
 //! one, which is why late tuples reach it through
 //! [`MswjOperator::insert_late`] instead of `push_with`.
 //!
+//! ## Executors
+//!
+//! Three backends share the routing front and the shard operators:
+//!
+//! * [`ExecutionBackend::Sequential`] — one shard on the calling thread,
+//!   byte-identical to the pre-engine pipeline.
+//! * [`ExecutionBackend::Threads`]`(n)` — `n` scoped workers spawned per
+//!   batch (`std::thread::scope`); simple, but the spawn cost and the
+//!   per-batch barrier only pay off at large batches.
+//! * [`ExecutionBackend::Pool`] — `n` **resident** workers spawned once at
+//!   construction (the `pool` submodule), fed through bounded per-shard
+//!   queues of epoch-tagged tasks.  Batches are *pipelined*: [`JoinEngine::flush`]
+//!   submits an epoch and returns while the workers crunch, so the caller
+//!   (the sequential front-end) routes batch *t + 1* while the shards
+//!   execute batch *t*.  The deferred epoch is collected — and its events
+//!   delivered — at the next `flush` or [`JoinEngine::sync`]; the pipeline
+//!   places a `sync` barrier at checkpoints, buffer-size changes and
+//!   end-of-stream, which keeps the adaptation statistics byte-identical to
+//!   `Sequential`.
+//!
+//! Both parallel backends fall back to the inline executor for batches
+//! below [`JoinEngine::SMALL_BATCH_THRESHOLD`] routed items, so
+//! single-event ingestion never pays a spawn or an enqueue round-trip.
+//!
 //! ## Determinism
 //!
 //! Events are emitted in staging order; a broadcast tuple's results are
 //! merged in shard order.  The [`ExecutionBackend::Sequential`] backend is
-//! byte-identical to the pre-engine pipeline; `Threads(n)` produces the
-//! same result multiset (and, because `n_x(e)` is computed globally, the
-//! same adaptation trajectory) for any `n` — pinned by
-//! `tests/differential_backends.rs`.
+//! byte-identical to the pre-engine pipeline; `Threads(n)` and
+//! `Pool { workers: n }` produce the same result multiset (and, because
+//! `n_x(e)` is computed globally, the same adaptation trajectory) for any
+//! `n` — pinned by `tests/differential_backends.rs`.
 //!
 //! ## Fallback
 //!
@@ -47,6 +71,7 @@
 
 mod exec;
 mod occupancy;
+mod pool;
 
 use mswj_join::{
     JoinQuery, JoinResult, MswjOperator, OperatorStats, Partitioner, ProbeOutcome, ProbePlan,
@@ -54,6 +79,7 @@ use mswj_join::{
 };
 use mswj_types::{StreamIndex, Timestamp, Tuple};
 use occupancy::Occupancy;
+use pool::{Epoch, ShardPool, Task};
 use std::collections::VecDeque;
 
 /// How the sharded join stage executes a routed batch.
@@ -68,6 +94,16 @@ pub enum ExecutionBackend {
     /// `Threads(1)` exercises the sharded machinery on a single shard and
     /// is equivalent to `Sequential`.
     Threads(usize),
+    /// `workers` shards executed by `workers` **resident** worker threads
+    /// spawned once at construction and fed through bounded per-shard work
+    /// queues, with batches pipelined against front-end routing.  Same
+    /// output as `Sequential` for any worker count; preferable to
+    /// [`ExecutionBackend::Threads`] whenever batches are small or arrive
+    /// continuously.
+    Pool {
+        /// Number of resident shard workers (and shards).
+        workers: usize,
+    },
 }
 
 impl ExecutionBackend {
@@ -77,6 +113,7 @@ impl ExecutionBackend {
         match self {
             ExecutionBackend::Sequential => 1,
             ExecutionBackend::Threads(n) => n.max(1),
+            ExecutionBackend::Pool { workers } => workers.max(1),
         }
     }
 }
@@ -86,6 +123,7 @@ impl std::fmt::Display for ExecutionBackend {
         match self {
             ExecutionBackend::Sequential => write!(f, "sequential"),
             ExecutionBackend::Threads(n) => write!(f, "threads({n})"),
+            ExecutionBackend::Pool { workers } => write!(f, "pool({workers})"),
         }
     }
 }
@@ -143,42 +181,141 @@ struct SubOutcome {
     indexed: bool,
 }
 
+/// Executor runtime counters for one shard, beyond the shard operator's own
+/// [`OperatorStats`] — the first visibility layer for key skew and queue
+/// pressure.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRuntimeStats {
+    /// Work items routed to this shard over the engine's lifetime
+    /// (broadcast tuples count once per shard).
+    pub routed: u64,
+    /// High-water mark of the shard's work queue: the most items ever
+    /// staged for this shard before an executor drained them.
+    pub max_queue_depth: usize,
+    /// Epochs (routed batches) handed to this shard's worker — resident
+    /// pool tasks or scoped `Threads` batches.  Inline execution (the
+    /// `Sequential` backend and sub-threshold fallbacks) enqueues nothing.
+    pub epochs_enqueued: u64,
+    /// Epochs the shard's worker finished executing.
+    pub epochs_executed: u64,
+    /// Wall-clock nanoseconds the shard's worker spent executing epochs —
+    /// worker busy time, not caller-thread time.
+    pub busy_nanos: u64,
+}
+
+/// One shard's complete statistics: the shard operator's lifetime counters
+/// plus the executor's runtime counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard operator's own counters — probes, inserts, expirations and
+    /// results that this shard performed.
+    pub operator: OperatorStats,
+    /// Executor runtime counters: routing volume, queue depth, epoch counts
+    /// and worker busy time.
+    pub runtime: ShardRuntimeStats,
+}
+
+/// Read access to one shard operator, independent of where the backend
+/// keeps it: borrowed directly from the engine (`Sequential`/`Threads`) or
+/// locked out of a resident pool worker's cell (`Pool`, waiting for the
+/// shard's submitted epochs to finish first).
+pub struct ShardGuard<'a>(GuardInner<'a>);
+
+enum GuardInner<'a> {
+    Direct(&'a MswjOperator),
+    Locked(std::sync::MutexGuard<'a, MswjOperator>),
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = MswjOperator;
+
+    fn deref(&self) -> &MswjOperator {
+        match &self.0 {
+            GuardInner::Direct(op) => op,
+            GuardInner::Locked(guard) => guard,
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// One submitted-but-uncollected epoch of the resident pool.
+struct PendingEpoch {
+    epoch: Epoch,
+    /// The epoch's routing decisions, in staging order (consumed by the
+    /// deterministic merge at collection).
+    decisions: Vec<Decision>,
+    /// Which shards received a task for this epoch.
+    mask: Vec<bool>,
+}
+
 /// The sharded join stage: routing front plus `n` shard operators.
 pub struct JoinEngine {
+    /// Engine-owned shard operators (`Sequential`/`Threads`); empty when
+    /// the resident pool owns them instead.
     shards: Vec<MswjOperator>,
+    /// The resident executor (`Pool` backend only).
+    pool: Option<ShardPool>,
     partitioner: Partitioner,
     backend: ExecutionBackend,
     query: JoinQuery,
+    plan: ProbePlan,
+    enumerate: bool,
     on_t: Timestamp,
     started: bool,
     occupancy: Occupancy,
     stats: OperatorStats,
+    runtime: Vec<ShardRuntimeStats>,
+    skew_warned: bool,
     /// Staged tuples awaiting the next [`JoinEngine::flush`].
     pending: Vec<Tuple>,
     /// Reusable routing / execution buffers (capacity persists across
     /// batches, so a steady-state flush allocates nothing on the
-    /// sequential path).
+    /// sequential and sub-threshold inline paths).
     decisions: Vec<Decision>,
     queues: Vec<VecDeque<Item>>,
     sub: Vec<Vec<SubOutcome>>,
     mat: Vec<Vec<(u32, JoinResult)>>,
+    /// The deferred epoch of the pipelined `Pool` path, if any.
+    outstanding: Option<PendingEpoch>,
+    next_epoch: u64,
+    /// Recycled buffers for the depth-1 epoch pipeline.
+    spare_decisions: Vec<Decision>,
+    spare_mask: Vec<bool>,
+    spare_items: Vec<VecDeque<Item>>,
 }
 
 impl std::fmt::Debug for JoinEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JoinEngine")
             .field("backend", &self.backend)
-            .field("shards", &self.shards.len())
-            .field("plan", &self.probe_plan().describe())
+            .field("shards", &self.shard_count())
+            .field("plan", &self.plan.describe())
             .field("on_t", &self.on_t)
+            .field("outstanding", &self.outstanding.is_some())
             .field("stats", &self.stats)
             .finish()
     }
 }
 
 impl JoinEngine {
+    /// Routed-item count below which the parallel backends execute a batch
+    /// inline on the calling thread: spawning (`Threads`) or enqueueing
+    /// (`Pool`) costs more than it buys on tiny batches, and the inline
+    /// path is allocation-free in steady state.
+    pub const SMALL_BATCH_THRESHOLD: usize = 32;
+
+    /// Minimum lifetime routed-item count before skew detection speaks up.
+    const SKEW_MIN_ROUTED: u64 = 1_024;
+
     /// Builds the engine for a query: plans the probe path, derives the
     /// partitioning rules and instantiates one [`MswjOperator`] per shard.
+    /// The `Pool` backend also spawns its resident workers here — they live
+    /// until the engine is dropped.
     ///
     /// Unpartitionable plans (nested-loop probes) always get exactly one
     /// shard, whatever the backend requests.
@@ -192,23 +329,37 @@ impl JoinEngine {
         let plan = ProbePlan::new(strategy, equi.as_ref());
         let partitioner = Partitioner::new(&plan, backend.requested_shards());
         let n = partitioner.shard_count();
-        let shards = (0..n)
+        let operators: Vec<MswjOperator> = (0..n)
             .map(|_| MswjOperator::with_probe(query.clone(), strategy, enumerate))
             .collect();
+        let (shards, pool) = match backend {
+            ExecutionBackend::Pool { .. } => (Vec::new(), Some(ShardPool::new(operators))),
+            _ => (operators, None),
+        };
         let m = query.arity();
         JoinEngine {
             shards,
+            pool,
             partitioner,
             backend,
+            plan,
+            enumerate,
             on_t: Timestamp::ZERO,
             started: false,
             occupancy: Occupancy::new(m),
             stats: OperatorStats::default(),
+            runtime: vec![ShardRuntimeStats::default(); n],
+            skew_warned: false,
             pending: Vec::new(),
             decisions: Vec::new(),
             queues: (0..n).map(|_| VecDeque::new()).collect(),
             sub: (0..n).map(|_| Vec::new()).collect(),
             mat: (0..n).map(|_| Vec::new()).collect(),
+            outstanding: None,
+            next_epoch: 1,
+            spare_decisions: Vec::new(),
+            spare_mask: Vec::new(),
+            spare_items: (0..n).map(|_| VecDeque::new()).collect(),
             query,
         }
     }
@@ -221,19 +372,40 @@ impl JoinEngine {
     /// Number of shards actually instantiated (1 for unpartitionable
     /// plans, the backend's request otherwise).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        match &self.pool {
+            Some(pool) => pool.shard_count(),
+            None => self.shards.len(),
+        }
     }
 
     /// The shard operator at `s` — windows, hash indexes and per-shard
-    /// counters are all inspectable through it.
-    pub fn shard(&self, s: usize) -> &MswjOperator {
-        &self.shards[s]
+    /// counters are all inspectable through it.  On the `Pool` backend this
+    /// waits for the shard's submitted epochs to finish executing; call
+    /// [`JoinEngine::sync`] first when you also need their *events*
+    /// delivered.
+    pub fn shard(&self, s: usize) -> ShardGuard<'_> {
+        match &self.pool {
+            Some(pool) => ShardGuard(GuardInner::Locked(pool.lock_shard(s))),
+            None => ShardGuard(GuardInner::Direct(&self.shards[s])),
+        }
     }
 
-    /// Per-shard lifetime counters: each shard's own [`OperatorStats`],
-    /// reflecting the probes, inserts and expirations that shard performed.
-    pub fn shard_stats(&self) -> Vec<OperatorStats> {
-        self.shards.iter().map(|s| s.stats()).collect()
+    /// Per-shard lifetime statistics: each shard operator's own
+    /// [`OperatorStats`] (the probes, inserts and expirations that shard
+    /// performed) paired with the executor's [`ShardRuntimeStats`] (routing
+    /// volume, queue depth, epoch counts, worker busy time).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.shard_count())
+            .map(|s| ShardStats {
+                operator: self.shard(s).stats(),
+                runtime: self.runtime[s],
+            })
+            .collect()
+    }
+
+    /// The executor runtime counters of shard `s`.
+    pub fn runtime_stats(&self, s: usize) -> ShardRuntimeStats {
+        self.runtime[s]
     }
 
     /// Aggregate counters, kept **sequential-equivalent**: ordering, drop
@@ -252,7 +424,7 @@ impl JoinEngine {
 
     /// The probe access path shared by every shard.
     pub fn probe_plan(&self) -> &ProbePlan {
-        self.shards[0].probe_plan()
+        &self.plan
     }
 
     /// The global high-water timestamp `onT` — the watermark of the merged
@@ -263,7 +435,30 @@ impl JoinEngine {
 
     /// Whether the engine materializes results.
     pub fn is_enumerating(&self) -> bool {
-        self.shards[0].is_enumerating()
+        self.enumerate
+    }
+
+    /// The shard currently holding the majority of all routed events, if
+    /// any — `Some(s)` once shard `s` has received more than half of the
+    /// (at least 1 024) items routed so far on a
+    /// multi-shard engine.  A one-time warning is logged when this first
+    /// trips; key-splitting for such heavy hitters is future work (see
+    /// ROADMAP).
+    pub fn heavy_hitter(&self) -> Option<usize> {
+        if self.shard_count() <= 1 {
+            return None;
+        }
+        let total: u64 = self.runtime.iter().map(|r| r.routed).sum();
+        if total < Self::SKEW_MIN_ROUTED {
+            return None;
+        }
+        let (s, max) = self
+            .runtime
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.routed)
+            .map(|(s, r)| (s, r.routed))?;
+        (max * 2 > total).then_some(s)
     }
 
     /// Stages one synchronized tuple for the next [`JoinEngine::flush`].
@@ -276,8 +471,16 @@ impl JoinEngine {
         !self.pending.is_empty()
     }
 
+    /// Whether a pipelined epoch has been submitted to the resident pool
+    /// and not yet collected ([`JoinEngine::sync`] drains it).
+    pub fn has_outstanding(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
     /// Stages a whole batch and flushes it — the amortized entry point for
-    /// callers that do not need the pipeline front-end.
+    /// callers that do not need the pipeline front-end.  On the `Pool`
+    /// backend the batch may execute asynchronously; finish with
+    /// [`JoinEngine::sync`] to observe its events.
     pub fn push_batch<I>(&mut self, tuples: I, f: &mut dyn FnMut(EngineEvent<'_>))
     where
         I: IntoIterator<Item = Tuple>,
@@ -292,22 +495,74 @@ impl JoinEngine {
     /// to `f`: zero or more [`EngineEvent::Result`]s per tuple (enumerating
     /// engines), then exactly one [`EngineEvent::Done`] per staged tuple,
     /// in staging order.
+    ///
+    /// On the `Pool` backend, batches of at least
+    /// [`Self::SMALL_BATCH_THRESHOLD`] routed items are *pipelined*: the
+    /// call submits the batch as an epoch and returns while the resident
+    /// workers execute it; the epoch's events are delivered at the next
+    /// `flush` or [`JoinEngine::sync`], before any newer batch's events.
+    /// Other backends (and sub-threshold batches) deliver everything before
+    /// returning.
     pub fn flush(&mut self, f: &mut dyn FnMut(EngineEvent<'_>)) {
-        if self.pending.is_empty() {
+        self.flush_impl(f, false);
+    }
+
+    /// The barrier flavour of [`JoinEngine::flush`]: additionally collects
+    /// any deferred epoch, so every staged tuple's events have been
+    /// delivered — and every shard is idle — when this returns.
+    pub fn sync(&mut self, f: &mut dyn FnMut(EngineEvent<'_>)) {
+        self.flush_impl(f, true);
+    }
+
+    fn flush_impl(&mut self, f: &mut dyn FnMut(EngineEvent<'_>), barrier: bool) {
+        if !self.pending.is_empty() {
+            self.route_pending();
+            self.note_skew();
+        }
+        // The deferred epoch's events precede this batch's in staging
+        // order, so it is always collected first.
+        if self.outstanding.is_some() {
+            self.collect_outstanding(f);
+        }
+        if self.decisions.is_empty() {
             return;
         }
-        self.route_pending();
         let items: usize = self.queues.iter().map(VecDeque::len).sum();
+        let small = items < Self::SMALL_BATCH_THRESHOLD;
+        if self.pool.is_some() {
+            if small {
+                // Sub-threshold fallback: run on the calling thread against
+                // the (idle) pool shards — no enqueue round-trip, no
+                // allocation in steady state.
+                let JoinEngine {
+                    pool,
+                    queues,
+                    decisions,
+                    stats,
+                    ..
+                } = self;
+                let pool = pool.as_mut().expect("checked above");
+                exec::run_inline(pool.shards_mut(), queues, decisions, stats, f);
+                self.decisions.clear();
+            } else {
+                self.submit_epoch();
+                if barrier {
+                    self.collect_outstanding(f);
+                }
+            }
+            return;
+        }
         let threaded =
-            matches!(self.backend, ExecutionBackend::Threads(_)) && self.shards.len() > 1;
-        if threaded && items > 0 {
+            matches!(self.backend, ExecutionBackend::Threads(_)) && self.shards.len() > 1 && !small;
+        if threaded {
             exec::run_threaded(
                 &mut self.shards,
                 &mut self.queues,
                 &mut self.sub,
                 &mut self.mat,
+                &mut self.runtime,
             );
-            exec::merge_threaded(
+            exec::merge_epoch(
                 &self.decisions,
                 &mut self.sub,
                 &mut self.mat,
@@ -316,7 +571,7 @@ impl JoinEngine {
             );
         } else {
             exec::run_inline(
-                &mut self.shards,
+                self.shards.as_mut_slice(),
                 &mut self.queues,
                 &self.decisions,
                 &mut self.stats,
@@ -324,6 +579,83 @@ impl JoinEngine {
             );
         }
         self.decisions.clear();
+    }
+
+    /// Ships the routed queues to the resident workers as one epoch and
+    /// records it as outstanding.  Buffers travel with the tasks and come
+    /// back at collection, so the steady-state round-trip allocates
+    /// nothing.
+    fn submit_epoch(&mut self) {
+        let epoch = Epoch(self.next_epoch);
+        self.next_epoch += 1;
+        let mut mask = std::mem::take(&mut self.spare_mask);
+        mask.clear();
+        mask.resize(self.queues.len(), false);
+        for (s, queue) in self.queues.iter_mut().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            mask[s] = true;
+            self.runtime[s].epochs_enqueued += 1;
+            let items = std::mem::replace(queue, std::mem::take(&mut self.spare_items[s]));
+            let task = Task {
+                epoch,
+                items,
+                sub: std::mem::take(&mut self.sub[s]),
+                mat: std::mem::take(&mut self.mat[s]),
+            };
+            self.pool
+                .as_mut()
+                .expect("submit_epoch requires the pool backend")
+                .submit(s, task);
+        }
+        let decisions = std::mem::replace(
+            &mut self.decisions,
+            std::mem::take(&mut self.spare_decisions),
+        );
+        self.outstanding = Some(PendingEpoch {
+            epoch,
+            decisions,
+            mask,
+        });
+    }
+
+    /// Collects the deferred epoch's outputs in shard order, re-raises any
+    /// worker panic, merges the buffers into the deterministic event stream
+    /// and recycles every buffer for the next epoch.
+    fn collect_outstanding(&mut self, f: &mut dyn FnMut(EngineEvent<'_>)) {
+        let Some(mut pend) = self.outstanding.take() else {
+            return;
+        };
+        let pool = self
+            .pool
+            .as_mut()
+            .expect("an outstanding epoch implies the pool backend");
+        for s in 0..pend.mask.len() {
+            if !pend.mask[s] {
+                continue;
+            }
+            let out = pool.collect(s, pend.epoch);
+            self.runtime[s].busy_nanos += out.busy_nanos;
+            self.runtime[s].epochs_executed += 1;
+            self.spare_items[s] = out.items;
+            self.sub[s] = out.sub;
+            self.mat[s] = out.mat;
+            if let Some(payload) = out.panic {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        exec::merge_epoch(
+            &pend.decisions,
+            &mut self.sub,
+            &mut self.mat,
+            &mut self.stats,
+            f,
+        );
+        pend.decisions.clear();
+        self.spare_decisions = pend.decisions;
+        pend.mask.clear();
+        self.spare_mask = pend.mask;
     }
 
     /// The sequential routing phase: classify every staged tuple against
@@ -381,11 +713,13 @@ impl JoinEngine {
         self.pending = pending;
     }
 
-    /// Queues one tuple's shard work according to its route.
+    /// Queues one tuple's shard work according to its route, maintaining
+    /// the per-shard routing-volume and queue-depth counters.
     fn enqueue(&mut self, seq: u32, probe: bool, tuple: Tuple) -> Placement {
         match self.partitioner.route(&tuple) {
             Route::One(s) => {
                 self.queues[s].push_back(Item { seq, probe, tuple });
+                self.note_routed(s);
                 Placement::One(s as u32)
             }
             Route::All => {
@@ -396,10 +730,45 @@ impl JoinEngine {
                         probe,
                         tuple: tuple.clone(),
                     });
+                    self.note_routed(s);
                 }
                 self.queues[last].push_back(Item { seq, probe, tuple });
+                self.note_routed(last);
                 Placement::All
             }
+        }
+    }
+
+    /// Folds one routed item into shard `s`'s runtime counters.
+    fn note_routed(&mut self, s: usize) {
+        let depth = self.queues[s].len();
+        let rt = &mut self.runtime[s];
+        rt.routed += 1;
+        if depth > rt.max_queue_depth {
+            rt.max_queue_depth = depth;
+        }
+    }
+
+    /// Logs the one-time heavy-hitter warning once a single shard holds the
+    /// majority of all routed events.  Suppress with `MSWJ_NO_SKEW_WARNING`
+    /// (the signal stays available through [`JoinEngine::heavy_hitter`] and
+    /// the per-shard `routed` counters either way).
+    fn note_skew(&mut self) {
+        if self.skew_warned {
+            return;
+        }
+        if let Some(s) = self.heavy_hitter() {
+            self.skew_warned = true;
+            if std::env::var_os("MSWJ_NO_SKEW_WARNING").is_some() {
+                return;
+            }
+            let total: u64 = self.runtime.iter().map(|r| r.routed).sum();
+            let held = self.runtime[s].routed;
+            eprintln!(
+                "mswj: heavy hitter detected — shard {s} holds {held} of {total} routed \
+                 events (> 50%); the key distribution pins this shard's bucket, consider \
+                 key-splitting (ROADMAP: skew handling)"
+            );
         }
     }
 }
@@ -427,12 +796,13 @@ mod tests {
         )
     }
 
-    /// Drives `tuples` through an engine and returns (sorted result
-    /// strings, outcomes).
-    fn run(
+    /// Drives `tuples` through an engine (one batch per `chunk` tuples,
+    /// final `sync`) and returns (sorted result strings, outcomes, stats).
+    fn run_chunked(
         backend: ExecutionBackend,
         enumerate: bool,
         tuples: &[Tuple],
+        chunk: usize,
     ) -> (Vec<String>, Vec<ProbeOutcome>, OperatorStats) {
         let mut engine = JoinEngine::new(
             equi_query(2, 1_000),
@@ -442,12 +812,24 @@ mod tests {
         );
         let mut results = Vec::new();
         let mut outcomes = Vec::new();
-        engine.push_batch(tuples.iter().cloned(), &mut |ev| match ev {
+        let mut handler = |ev: EngineEvent<'_>| match ev {
             EngineEvent::Result(r) => results.push(r.to_string()),
             EngineEvent::Done(o) => outcomes.push(o),
-        });
+        };
+        for batch in tuples.chunks(chunk.max(1)) {
+            engine.push_batch(batch.iter().cloned(), &mut handler);
+        }
+        engine.sync(&mut handler);
         results.sort();
         (results, outcomes, engine.stats())
+    }
+
+    fn run(
+        backend: ExecutionBackend,
+        enumerate: bool,
+        tuples: &[Tuple],
+    ) -> (Vec<String>, Vec<ProbeOutcome>, OperatorStats) {
+        run_chunked(backend, enumerate, tuples, usize::MAX)
     }
 
     #[test]
@@ -465,7 +847,7 @@ mod tests {
     }
 
     #[test]
-    fn threaded_backends_agree_with_sequential() {
+    fn parallel_backends_agree_with_sequential() {
         let tuples: Vec<Tuple> = (0..120u64)
             .map(|s| {
                 let late = s % 7 == 0 && s > 0;
@@ -474,23 +856,38 @@ mod tests {
             })
             .collect();
         let (seq_res, seq_out, seq_stats) = run(ExecutionBackend::Sequential, true, &tuples);
-        for n in [1usize, 3, 4] {
-            let (res, out, stats) = run(ExecutionBackend::Threads(n), true, &tuples);
-            assert_eq!(seq_res, res, "result multiset diverged at {n} shards");
-            assert_eq!(seq_out.len(), out.len());
-            for (a, b) in seq_out.iter().zip(&out) {
-                assert_eq!(a.in_order, b.in_order);
-                assert_eq!(a.inserted, b.inserted);
-                assert_eq!(a.n_join, b.n_join);
-                assert_eq!(a.n_cross, b.n_cross, "global n_x(e) must not shard");
-                assert_eq!(a.expired, b.expired);
+        let backends = [
+            ExecutionBackend::Threads(1),
+            ExecutionBackend::Threads(3),
+            ExecutionBackend::Threads(4),
+            ExecutionBackend::Pool { workers: 1 },
+            ExecutionBackend::Pool { workers: 4 },
+        ];
+        for backend in backends {
+            // Chunk of 48 exceeds the inline threshold (pipelined epochs on
+            // Pool); chunk of 7 stays below it (inline fallback).
+            for chunk in [48usize, 7] {
+                let (res, out, stats) = run_chunked(backend, true, &tuples, chunk);
+                let label = format!("{backend} chunk {chunk}");
+                assert_eq!(seq_res, res, "result multiset diverged [{label}]");
+                assert_eq!(seq_out.len(), out.len(), "[{label}]");
+                for (a, b) in seq_out.iter().zip(&out) {
+                    assert_eq!(a.in_order, b.in_order, "[{label}]");
+                    assert_eq!(a.inserted, b.inserted, "[{label}]");
+                    assert_eq!(a.n_join, b.n_join, "[{label}]");
+                    assert_eq!(
+                        a.n_cross, b.n_cross,
+                        "global n_x(e) must not shard [{label}]"
+                    );
+                    assert_eq!(a.expired, b.expired, "[{label}]");
+                }
+                assert_eq!(seq_stats.results, stats.results, "[{label}]");
+                assert_eq!(seq_stats.in_order, stats.in_order, "[{label}]");
+                assert_eq!(seq_stats.out_of_order, stats.out_of_order, "[{label}]");
+                assert_eq!(seq_stats.dropped, stats.dropped, "[{label}]");
+                assert_eq!(seq_stats.expired, stats.expired, "[{label}]");
+                assert_eq!(seq_stats.cross_results, stats.cross_results, "[{label}]");
             }
-            assert_eq!(seq_stats.results, stats.results);
-            assert_eq!(seq_stats.in_order, stats.in_order);
-            assert_eq!(seq_stats.out_of_order, stats.out_of_order);
-            assert_eq!(seq_stats.dropped, stats.dropped);
-            assert_eq!(seq_stats.expired, stats.expired);
-            assert_eq!(seq_stats.cross_results, stats.cross_results);
         }
     }
 
@@ -510,9 +907,16 @@ mod tests {
         let per_shard = engine.shard_stats();
         assert_eq!(per_shard.len(), 4);
         assert!(
-            per_shard.iter().filter(|s| s.in_order > 0).count() >= 3,
+            per_shard.iter().filter(|s| s.operator.in_order > 0).count() >= 3,
             "16 keys must spread probes over the shards: {per_shard:?}"
         );
+        // Every shard saw routed work, and the queue high-water mark is
+        // consistent with it.
+        for s in &per_shard {
+            assert!(s.runtime.routed > 0);
+            assert!(s.runtime.max_queue_depth > 0);
+            assert!(s.runtime.max_queue_depth as u64 <= s.runtime.routed);
+        }
         // The shard windows partition the global state (common-key plans
         // never broadcast).  Shards expire lazily — only a probe *in that
         // shard* drains it — so stale tuples may linger; restricted to the
@@ -537,15 +941,79 @@ mod tests {
     }
 
     #[test]
-    fn unpartitionable_plans_collapse_to_one_shard() {
-        let engine = JoinEngine::new(
+    fn pool_defers_large_batches_and_sync_collects_them() {
+        let mut engine = JoinEngine::new(
             equi_query(2, 1_000),
-            ProbeStrategy::NestedLoop,
+            ProbeStrategy::Auto,
             false,
-            ExecutionBackend::Threads(8),
+            ExecutionBackend::Pool { workers: 2 },
         );
-        assert_eq!(engine.shard_count(), 1);
-        assert!(!engine.partitioner().is_partitioned());
+        assert_eq!(engine.shard_count(), 2);
+        // A sub-threshold batch executes inline: events arrive immediately.
+        let mut done = 0usize;
+        engine.push_batch(
+            (0..4u64).map(|s| tup((s % 2) as usize, s, s * 10, s as i64)),
+            &mut |_| done += 1,
+        );
+        assert_eq!(done, 4);
+        assert!(!engine.has_outstanding());
+        // A large batch is submitted as an epoch and deferred…
+        let big: Vec<Tuple> = (4..100u64)
+            .map(|s| tup((s % 2) as usize, s, s * 10, (s % 8) as i64))
+            .collect();
+        engine.push_batch(big, &mut |_| done += 1);
+        assert!(engine.has_outstanding(), "large batches pipeline");
+        assert_eq!(done, 4, "deferred epochs emit nothing yet");
+        // …and sync delivers exactly one Done per staged tuple.
+        engine.sync(&mut |ev| {
+            if matches!(ev, EngineEvent::Done(_)) {
+                done += 1;
+            }
+        });
+        assert!(!engine.has_outstanding());
+        assert_eq!(done, 100);
+        let epochs: u64 = engine
+            .shard_stats()
+            .iter()
+            .map(|s| s.runtime.epochs_executed)
+            .sum();
+        assert!(epochs >= 1, "the deferred batch ran through the pool");
+    }
+
+    #[test]
+    fn heavy_hitter_detection_fires_on_skew() {
+        let mut engine = JoinEngine::new(
+            equi_query(2, 10_000),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::Threads(4),
+        );
+        // Every tuple carries the same key: one shard takes 100% of the
+        // routed events.
+        let tuples: Vec<Tuple> = (0..1_200u64)
+            .map(|s| tup((s % 2) as usize, s, s * 2, 7))
+            .collect();
+        assert_eq!(engine.heavy_hitter(), None, "too little evidence yet");
+        engine.push_batch(tuples, &mut |_| {});
+        let hot = engine.heavy_hitter().expect("constant key must trip");
+        assert_eq!(engine.runtime_stats(hot).routed, 1_200);
+    }
+
+    #[test]
+    fn unpartitionable_plans_collapse_to_one_shard() {
+        for backend in [
+            ExecutionBackend::Threads(8),
+            ExecutionBackend::Pool { workers: 8 },
+        ] {
+            let engine = JoinEngine::new(
+                equi_query(2, 1_000),
+                ProbeStrategy::NestedLoop,
+                false,
+                backend,
+            );
+            assert_eq!(engine.shard_count(), 1, "{backend}");
+            assert!(!engine.partitioner().is_partitioned(), "{backend}");
+        }
     }
 
     #[test]
@@ -558,8 +1026,10 @@ mod tests {
         );
         let mut events = 0u32;
         engine.flush(&mut |_| events += 1);
+        engine.sync(&mut |_| events += 1);
         assert_eq!(events, 0);
         assert!(!engine.has_pending());
+        assert!(!engine.has_outstanding());
         assert_eq!(engine.backend(), ExecutionBackend::Sequential);
         assert!(!engine.is_enumerating());
         assert_eq!(engine.on_t(), Timestamp::ZERO);

@@ -1,0 +1,191 @@
+//! A minimal bounded SPSC channel for the worker pool.
+//!
+//! `std::sync::mpsc` would mostly do, but the pool's shutdown protocol needs
+//! semantics the std channel only gives implicitly: *either* side closing
+//! must wake the other immediately (a worker blocked on a full result queue
+//! must observe the engine dropping its receiver, or `Drop` would deadlock
+//! the join), and a panicking worker must never strand the producer.  A
+//! hand-rolled `Mutex` + two-`Condvar` ring keeps those rules explicit and
+//! unit-tested here, with no dependency beyond std.
+//!
+//! The channel is used strictly single-producer/single-consumer (one routing
+//! front-end, one worker per shard), though nothing in the implementation
+//! depends on that beyond capacity tuning.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when the buffer gains an item or the sender goes away.
+    not_empty: Condvar,
+    /// Signalled when the buffer loses an item or the receiver goes away.
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, shrugging off poison: the channel's invariants are
+    /// all re-checked under the lock, so a panic elsewhere must not cascade
+    /// into the shutdown path.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Producer half; dropping it closes the channel for the receiver.
+pub(in crate::engine) struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half; dropping it unblocks and fails all future sends.
+pub(in crate::engine) struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel holding at most `cap` in-flight values.
+pub(in crate::engine) fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "a zero-capacity channel could never transfer");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`.  Returns the value
+    /// back as `Err` when the receiver is gone — the caller decides whether
+    /// that is shutdown (worker exiting) or a hard error (engine submitting
+    /// to a dead worker).
+    pub(in crate::engine) fn send(&self, value: T) -> Result<(), T> {
+        let mut state = self.shared.lock();
+        loop {
+            if !state.receiver_alive {
+                return Err(value);
+            }
+            if state.buf.len() < state.cap {
+                state.buf.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.shared.lock().sender_alive = false;
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives; `None` once the sender is gone *and*
+    /// the buffer is drained (every value sent before the close is still
+    /// delivered).
+    pub(in crate::engine) fn recv(&self) -> Option<T> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Some(value);
+            }
+            if !state.sender_alive {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().receiver_alive = false;
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn values_arrive_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        tx.send(4).unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert_eq!(rx.recv(), Some(4));
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_a_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let sender = thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the main thread drains.
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_the_sender_drains_then_closes() {
+        let (tx, rx) = bounded(4);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), Some("b"));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "closed stays closed");
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_sends_even_when_blocked() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u8).unwrap();
+        let sender = thread::spawn(move || tx.send(2));
+        // The spawned send blocks on the full buffer; dropping the receiver
+        // must wake it with an error rather than leave it parked forever.
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(sender.join().unwrap(), Err(2));
+    }
+}

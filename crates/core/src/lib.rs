@@ -77,7 +77,9 @@ pub mod synchronizer;
 pub use adaptation::{AdaptationOutcome, BufferSizeManager};
 pub use builder::SessionBuilder;
 pub use config::{DisorderConfig, ProbePlan, ProbeStrategy, SelectivityStrategy};
-pub use engine::{EngineEvent, ExecutionBackend, JoinEngine};
+pub use engine::{
+    EngineEvent, ExecutionBackend, JoinEngine, ShardGuard, ShardRuntimeStats, ShardStats,
+};
 pub use kslack::{KSlack, KSlackStats};
 pub use model::{ModelInputs, RecallModel};
 pub use output::{Checkpoint, OutputEvent, RunReport};

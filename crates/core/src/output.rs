@@ -27,6 +27,7 @@
 //! assert_eq!(advanced_to, Some(Timestamp::from_millis(1_500)));
 //! ```
 
+use crate::engine::ShardStats;
 use mswj_join::{JoinResult, OperatorStats};
 use mswj_types::{Duration, StreamIndex, Timestamp};
 
@@ -100,10 +101,12 @@ pub struct RunReport {
     /// Aggregate join-stage counters, kept sequential-equivalent across
     /// execution backends.
     pub operator_stats: OperatorStats,
-    /// Per-shard join-stage counters (one entry per shard; a single entry
-    /// on the `Sequential` backend).  Their `results` sum to
-    /// [`RunReport::total_produced`].
-    pub shard_stats: Vec<OperatorStats>,
+    /// Per-shard join-stage statistics (one entry per shard; a single entry
+    /// on the `Sequential` backend): the shard operator's counters — whose
+    /// `results` sum to [`RunReport::total_produced`] — plus the executor's
+    /// runtime counters (routed volume, queue high-water mark, epoch counts
+    /// and worker busy time on the parallel backends).
+    pub shard_stats: Vec<ShardStats>,
     /// Total number of join results produced.
     pub total_produced: u64,
     /// Tuples that left a K-slack component still out of order.

@@ -29,8 +29,15 @@
 //! allocation.  [`Pipeline::push_batch_into`] ingests a whole batch and
 //! flushes the join stage **once**, amortizing the front-end → shard
 //! hand-off (and, under the `Threads` backend, one thread fan-out) over the
-//! batch; single-event `push_into` simply delegates to it.  Sessions are
-//! assembled with the fluent [`SessionBuilder`] (see [`Pipeline::builder`]).
+//! batch; single-event `push_into` simply delegates to it.  Under the
+//! resident [`ExecutionBackend::Pool`] the flush is *pipelined*: the batch
+//! is handed to the resident shard workers and the call returns while they
+//! execute it, so the front-end processes batch *t + 1* concurrently with
+//! the join work of batch *t*; the deferred batch's events are delivered at
+//! the next flush boundary, and an epoch barrier is placed at checkpoints,
+//! buffer-size changes and end-of-stream so adaptation statistics stay
+//! byte-identical to the sequential backend.  Sessions are assembled with
+//! the fluent [`SessionBuilder`] (see [`Pipeline::builder`]).
 //!
 //! Every `L` milliseconds of the arrival axis a *checkpoint* is taken:
 //! adaptive policies run their adaptation step (Alg. 3 or the PD controller)
@@ -46,6 +53,7 @@
 use crate::adaptation::BufferSizeManager;
 use crate::builder::SessionBuilder;
 use crate::config::DisorderConfig;
+use crate::engine::ShardStats;
 use crate::engine::{EngineEvent, ExecutionBackend, JoinEngine};
 use crate::kslack::KSlack;
 use crate::output::{Checkpoint, OutputEvent, RunReport};
@@ -57,6 +65,7 @@ use crate::statistics::StatisticsManager;
 use crate::synchronizer::Synchronizer;
 use mswj_join::{JoinQuery, OperatorStats, ProbePlan, ProbeStrategy};
 use mswj_types::{ArrivalEvent, Duration, Result, StreamIndex, Timestamp, Tuple};
+use std::collections::VecDeque;
 
 /// The quality-driven disorder-handling pipeline for one MSWJ query.
 pub struct Pipeline {
@@ -89,9 +98,10 @@ pub struct Pipeline {
     scratch_released: Vec<Tuple>,
     scratch_synced: Vec<Tuple>,
     /// `(delay, ts)` of every tuple staged into the engine, in staging
-    /// order — consumed by the per-tuple bookkeeping when the engine
-    /// flushes.
-    pending_meta: Vec<(Duration, Timestamp)>,
+    /// order — consumed front-to-back by the per-tuple bookkeeping as the
+    /// engine delivers `Done` events (a deque because the pipelined `Pool`
+    /// backend delivers a batch's events one flush later).
+    pending_meta: VecDeque<(Duration, Timestamp)>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -174,7 +184,7 @@ impl Pipeline {
             last_progress: None,
             scratch_released: Vec::new(),
             scratch_synced: Vec::new(),
-            pending_meta: Vec::new(),
+            pending_meta: VecDeque::new(),
             query,
             policy,
         })
@@ -221,9 +231,11 @@ impl Pipeline {
         self.engine.stats()
     }
 
-    /// Per-shard lifetime counters of the join stage (one entry per shard;
-    /// a single entry on the `Sequential` backend).
-    pub fn shard_stats(&self) -> Vec<OperatorStats> {
+    /// Per-shard lifetime statistics of the join stage (one entry per
+    /// shard; a single entry on the `Sequential` backend): the shard
+    /// operator's counters plus executor runtime counters — routed volume,
+    /// queue high-water mark, epoch counts and worker busy time.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.engine.shard_stats()
     }
 
@@ -287,11 +299,12 @@ impl Pipeline {
         self.last_arrival = arrival;
 
         // Checkpoint / adaptation boundaries crossed by this arrival.  The
-        // join stage is flushed first so the profiler and result-size
-        // monitor are up to date when the adaptation reads them.
+        // join stage is synced first — staged *and* pipeline-deferred work
+        // both execute — so the profiler and result-size monitor are up to
+        // date when the adaptation reads them.
         while let Some(next) = self.next_checkpoint {
             if arrival >= next {
-                self.flush_engine(sink);
+                self.sync_engine(sink);
                 self.take_checkpoint(next, sink);
                 self.next_checkpoint = Some(next.saturating_add_duration(self.interval_l));
             } else {
@@ -305,7 +318,7 @@ impl Pipeline {
         if delay > self.lifetime_max_delay {
             self.lifetime_max_delay = delay;
             if matches!(self.policy, BufferPolicy::MaxKSlack) {
-                self.flush_engine(sink);
+                self.sync_engine(sink);
                 self.apply_k(self.lifetime_max_delay, arrival, sink);
             }
         }
@@ -345,7 +358,11 @@ impl Pipeline {
         for t in synced.drain(..) {
             self.stage_one(t);
         }
-        self.flush_engine(sink);
+        self.sync_engine(sink);
+        debug_assert!(
+            self.pending_meta.is_empty(),
+            "every staged tuple produced its Done event"
+        );
 
         // Close the average-K accounting.
         let end = self.last_arrival;
@@ -409,19 +426,19 @@ impl Pipeline {
     /// Stages one synchronized tuple into the engine, remembering the
     /// metadata the per-tuple bookkeeping needs at flush time.
     fn stage_one(&mut self, t: Tuple) {
-        self.pending_meta.push((t.delay_or_zero(), t.ts));
+        self.pending_meta.push_back((t.delay_or_zero(), t.ts));
         self.engine.stage(t);
     }
 
     /// Executes every staged tuple through the configured backend, feeding
     /// results into `sink` and the outcomes into the productivity profiler,
-    /// the result-size monitor and the watermark.
-    fn flush_engine<S: Sink>(&mut self, sink: &mut S) {
-        if !self.engine.has_pending() {
+    /// the result-size monitor and the watermark.  On the pipelined `Pool`
+    /// backend this may *defer* the batch (events arrive at the next flush
+    /// boundary); `barrier` forces every deferred epoch to complete first.
+    fn drive_engine<S: Sink>(&mut self, sink: &mut S, barrier: bool) {
+        if !self.engine.has_pending() && !self.engine.has_outstanding() {
             return;
         }
-        let meta = std::mem::take(&mut self.pending_meta);
-        let mut idx = 0usize;
         let Pipeline {
             engine,
             profiler,
@@ -429,13 +446,15 @@ impl Pipeline {
             produced,
             produced_since_checkpoint,
             last_progress,
+            pending_meta,
             ..
         } = self;
-        engine.flush(&mut |ev| match ev {
+        let mut handler = |ev: EngineEvent<'_>| match ev {
             EngineEvent::Result(r) => sink.event(OutputEvent::Result(r)),
             EngineEvent::Done(outcome) => {
-                let (delay, ts) = meta[idx];
-                idx += 1;
+                let (delay, ts) = pending_meta
+                    .pop_front()
+                    .expect("one Done event per staged tuple");
                 if outcome.in_order {
                     profiler.record_processed(delay, outcome.n_cross, outcome.n_join);
                     if outcome.n_join > 0 {
@@ -454,19 +473,34 @@ impl Pipeline {
                     profiler.record_unprocessed(delay);
                 }
             }
-        });
-        debug_assert_eq!(idx, meta.len(), "one Done event per staged tuple");
-        let mut meta = meta;
-        meta.clear();
-        self.pending_meta = meta;
+        };
+        if barrier {
+            engine.sync(&mut handler);
+        } else {
+            engine.flush(&mut handler);
+        }
+    }
+
+    /// Pipelined flush: staged work is handed to the join stage; the `Pool`
+    /// backend may execute it asynchronously.
+    fn flush_engine<S: Sink>(&mut self, sink: &mut S) {
+        self.drive_engine(sink, false);
+    }
+
+    /// Barrier flush: staged *and* deferred work completes, and all of its
+    /// events reach `sink`, before this returns — required before
+    /// checkpoints, buffer-size changes and the final report.
+    fn sync_engine<S: Sink>(&mut self, sink: &mut S) {
+        self.drive_engine(sink, true);
     }
 
     /// Takes one periodic checkpoint at arrival-axis instant `at`: runs the
     /// policy's adaptation (if any), applies the new K to every K-slack
     /// component (Same-K policy), records the checkpoint and emits it.
     ///
-    /// The caller guarantees the join stage was flushed, so `measure_ts`
-    /// and the profiler reflect every tuple staged so far.
+    /// The caller guarantees the join stage was synced (no staged or
+    /// deferred work), so `measure_ts` and the profiler reflect every tuple
+    /// staged so far.
     fn take_checkpoint<S: Sink>(&mut self, at: Timestamp, sink: &mut S) {
         let measure_ts = self.engine.on_t();
         let mut gamma_prime = f64::NAN;
@@ -507,7 +541,7 @@ impl Pipeline {
         self.apply_k(new_k, at, sink);
         // Results released by a shrink are delivered before the checkpoint
         // event, exactly as when pushing event by event.
-        self.flush_engine(sink);
+        self.sync_engine(sink);
 
         self.checkpoints.push(Checkpoint {
             at,
@@ -861,7 +895,46 @@ mod tests {
         assert_eq!(parallel.produced, sequential.produced);
         assert_eq!(parallel.shard_stats.len(), 4);
         assert_eq!(sequential.shard_stats.len(), 1);
-        let sharded_results: u64 = parallel.shard_stats.iter().map(|s| s.results).sum();
+        let sharded_results: u64 = parallel
+            .shard_stats
+            .iter()
+            .map(|s| s.operator.results)
+            .sum();
         assert_eq!(sharded_results, parallel.total_produced);
+    }
+
+    #[test]
+    fn pool_backend_matches_sequential_through_the_pipeline() {
+        let mut p = Pipeline::builder()
+            .query(query(2, 500))
+            .policy(BufferPolicy::MaxKSlack)
+            .parallelism(ExecutionBackend::Pool { workers: 4 })
+            .build()
+            .unwrap();
+        assert_eq!(p.engine().shard_count(), 4);
+        let mut reference = Pipeline::new(query(2, 500), BufferPolicy::MaxKSlack).unwrap();
+        let events = workload(600, 180);
+        // Mixed batch sizes: some below the inline threshold, some above
+        // (pipelined epochs with deferred collection).
+        for chunk in events.chunks(130) {
+            p.push_batch_into(chunk.iter().cloned(), &mut NullSink);
+        }
+        for e in events {
+            reference.push(e);
+        }
+        let pooled = p.finish();
+        let sequential = reference.finish();
+        assert_eq!(pooled.total_produced, sequential.total_produced);
+        assert_eq!(pooled.produced, sequential.produced);
+        assert_eq!(pooled.checkpoints.len(), sequential.checkpoints.len());
+        let pool_results: u64 = pooled.shard_stats.iter().map(|s| s.operator.results).sum();
+        assert_eq!(pool_results, pooled.total_produced);
+        // The pool actually executed epochs for the large chunks.
+        let executed: u64 = pooled
+            .shard_stats
+            .iter()
+            .map(|s| s.runtime.epochs_executed)
+            .sum();
+        assert!(executed > 0, "large chunks must run through the pool");
     }
 }

@@ -162,7 +162,7 @@ mod tests {
             checkpoints,
             avg_k_ms: 123.0,
             operator_stats: OperatorStats::default(),
-            shard_stats: vec![OperatorStats::default()],
+            shard_stats: vec![mswj_core::ShardStats::default()],
             total_produced: 0,
             kslack_residual_out_of_order: 0,
             max_observed_delay: 0,

@@ -3,20 +3,24 @@
 //! Every randomized m-way workload is run through sessions that differ
 //! **only** in the execution backend of the join stage:
 //! [`ExecutionBackend::Sequential`] (one shard, byte-identical to the
-//! pre-engine pipeline), `Threads(1)` (the sharded machinery on one shard)
-//! and `Threads(4)` (key-partitioned across four shards, executed by four
-//! scoped workers, merged in deterministic shard order).  The sessions must
-//! emit byte-identical multisets of [`JoinResult`]s, the same per-probe
-//! result trajectory and — because the engine computes `n_x(e)` and expiry
-//! globally — the very same adaptation (checkpoint-K) sequence, under
-//! out-of-order arrivals, K-slack shrinks and expansions, common-key and
-//! star shapes, adversarial mixed-type keys and unpartitionable
-//! conditions.
+//! pre-engine pipeline), `Threads(1)` (the sharded machinery on one shard),
+//! `Threads(4)` (key-partitioned across four shards, executed by four
+//! scoped workers per batch, merged in deterministic shard order) and
+//! `Pool { workers: 4 }` (the same four shards on **resident** workers with
+//! pipelined, epoch-deferred ingestion — both batched, where epochs
+//! actually defer, and single-event, where the sub-threshold inline
+//! fallback runs).  The sessions must emit byte-identical multisets of
+//! [`JoinResult`]s, the same per-probe result trajectory and — because the
+//! engine computes `n_x(e)` and expiry globally, and the pipeline places an
+//! epoch barrier at every checkpoint and buffer-size change — the very same
+//! adaptation (checkpoint-K) sequence, under out-of-order arrivals, K-slack
+//! shrinks and expansions, checkpoint-forced intermediate flushes,
+//! common-key and star shapes, adversarial mixed-type keys and
+//! unpartitionable conditions.
 //!
 //! Well over 60 randomized workloads run across the tests below
 //! (30 common-key + 15 star + 15 mixed-type + 6 unpartitionable), each
-//! compared across three backends and, in the common-key test, also
-//! between single-event and batched ingestion.
+//! compared across the backend/batching matrix above.
 
 use mswj::prelude::*;
 use rand::rngs::StdRng;
@@ -62,7 +66,7 @@ fn run(
         report.total_produced,
         "sink must see exactly the results the report counts"
     );
-    let shard_results: u64 = report.shard_stats.iter().map(|s| s.results).sum();
+    let shard_results: u64 = report.shard_stats.iter().map(|s| s.operator.results).sum();
     assert_eq!(
         shard_results, report.total_produced,
         "per-shard result counters must sum to the total"
@@ -70,9 +74,12 @@ fn run(
     (canon(&sink.results), report)
 }
 
-/// Asserts that `Threads(1)` and `Threads(4)` agree with the `Sequential`
-/// reference on results, per-probe trajectory, ordering statistics and the
-/// adaptation (checkpoint-K) sequence; returns the sequential report.
+/// Asserts that the scoped-thread and resident-pool backends agree with the
+/// `Sequential` reference on results, per-probe trajectory, ordering
+/// statistics and the adaptation (checkpoint-K) sequence — batched (where
+/// `Pool` epochs defer across flush boundaries) as well as single-event
+/// (where the sub-threshold inline fallback runs); returns the sequential
+/// report.
 fn assert_backends_agree(
     query: &JoinQuery,
     policy: &BufferPolicy,
@@ -83,6 +90,8 @@ fn assert_backends_agree(
     for (backend, batch) in [
         (ExecutionBackend::Threads(1), 1),
         (ExecutionBackend::Threads(4), 64),
+        (ExecutionBackend::Pool { workers: 4 }, 64),
+        (ExecutionBackend::Pool { workers: 4 }, 1),
     ] {
         let (results, report) = run(query, policy, backend, batch, events);
         assert_eq!(
@@ -293,8 +302,8 @@ fn mixed_type_keys_agree_across_backends() {
 #[test]
 fn unpartitionable_conditions_fall_back_to_one_shard() {
     // Cross joins, band joins and forced nested-loop probes expose no key
-    // to partition on: Threads(4) must transparently degrade to a single
-    // broadcast shard and still match the sequential reference.
+    // to partition on: the parallel backends must transparently degrade to
+    // a single broadcast shard and still match the sequential reference.
     for case in 0..6usize {
         let mut rng = StdRng::seed_from_u64(0x0B0A_DCA5 + case as u64);
         let policy = policy_for(case, &mut rng);
@@ -312,24 +321,34 @@ fn unpartitionable_conditions_fall_back_to_one_shard() {
         };
         let label = format!("unpartitionable #{case}");
         let _ = assert_backends_agree(&query, &policy, &events, &label);
-        // The engine must have collapsed to one shard.
-        let p = Pipeline::builder()
-            .query(query)
-            .policy(policy)
-            .parallelism(ExecutionBackend::Threads(4))
-            .build()
-            .unwrap();
-        assert_eq!(p.engine().shard_count(), 1, "[{label}]");
+        // The engine must have collapsed to one shard on both backends.
+        for backend in [
+            ExecutionBackend::Threads(4),
+            ExecutionBackend::Pool { workers: 4 },
+        ] {
+            let p = Pipeline::builder()
+                .query(query.clone())
+                .policy(policy.clone())
+                .parallelism(backend)
+                .build()
+                .unwrap();
+            assert_eq!(p.engine().shard_count(), 1, "[{label}] {backend}");
+        }
     }
 }
 
 #[test]
-fn threads_zero_is_rejected_at_build() {
-    let r = Pipeline::builder()
-        .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
-        .on_common_key("a1")
-        .no_k_slack()
-        .parallelism(ExecutionBackend::Threads(0))
-        .build();
-    assert!(r.is_err(), "Threads(0) must be rejected");
+fn zero_worker_backends_are_rejected_at_build() {
+    for backend in [
+        ExecutionBackend::Threads(0),
+        ExecutionBackend::Pool { workers: 0 },
+    ] {
+        let r = Pipeline::builder()
+            .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
+            .on_common_key("a1")
+            .no_k_slack()
+            .parallelism(backend)
+            .build();
+        assert!(r.is_err(), "{backend} must be rejected");
+    }
 }

@@ -1,0 +1,194 @@
+//! Lifecycle tests for the resident worker pool
+//! (`ExecutionBackend::Pool`): workers must join cleanly when a session is
+//! dropped mid-stream (even with a pipelined epoch still in flight), a
+//! panicking worker must surface as a panic on the caller thread instead of
+//! a hang, and repeated build/finish cycles must not leak threads.
+//!
+//! Thread-count assertions read `/proc/self/status` and therefore only run
+//! on Linux; everywhere else the tests still assert the behavioural part
+//! (no hang, clean drop, surfaced panic).  The counting tests serialize on
+//! a file-local lock — integration tests share one process, and a pool
+//! spawned by a concurrently running test would skew the count.
+
+use mswj::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+static THREAD_COUNT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Live thread count of this process, if the platform exposes it.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Polls until the process thread count drops back to `baseline` — worker
+/// exit and `pthread_join` are synchronous, but give the kernel a moment to
+/// reap under load.
+fn assert_threads_return_to(baseline: usize) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let Some(now) = thread_count() else { return };
+        if now <= baseline {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "thread count stuck at {now} (baseline {baseline}) — leaked pool workers"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+fn pool_session(workers: usize) -> Pipeline {
+    mswj::session()
+        .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
+        .on_common_key("a1")
+        .no_k_slack()
+        .parallelism(ExecutionBackend::Pool { workers })
+        .build()
+        .unwrap()
+}
+
+fn events(n: u64) -> Vec<ArrivalEvent> {
+    (1..=n)
+        .map(|i| {
+            let ts = Timestamp::from_millis(i * 2);
+            ArrivalEvent::new(
+                ts,
+                Tuple::new(
+                    ((i % 2) as usize).into(),
+                    i,
+                    ts,
+                    vec![Value::Int(((i / 2) % 8) as i64)],
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn workers_join_cleanly_on_drop_mid_stream() {
+    let _guard = THREAD_COUNT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = thread_count();
+    {
+        let mut pipeline = pool_session(4);
+        // One large batch, short enough (800 ms of arrival axis, below the
+        // default 1 s checkpoint interval) that no checkpoint barrier runs:
+        // the epoch MUST still be outstanding when the session drops.
+        pipeline.push_batch_into(events(400), &mut NullSink);
+        assert!(
+            pipeline.engine().has_outstanding(),
+            "the batch must leave a pipelined epoch in flight at drop time"
+        );
+    }
+    if let Some(base) = baseline {
+        assert_threads_return_to(base);
+    }
+}
+
+#[test]
+fn repeated_finish_and_rebuild_cycles_leak_no_threads() {
+    let _guard = THREAD_COUNT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = thread_count();
+    for round in 0..16 {
+        let mut pipeline = pool_session(1 + round % 4);
+        let mut sink = CountingSink::default();
+        for chunk in events(200).chunks(64) {
+            pipeline.push_batch_into(chunk.iter().cloned(), &mut sink);
+        }
+        let report = pipeline.finish_into(&mut sink);
+        assert!(report.total_produced > 0, "round {round} produced results");
+    }
+    if let Some(base) = baseline {
+        assert_threads_return_to(base);
+    }
+}
+
+#[test]
+fn panicking_worker_surfaces_as_error_not_hang() {
+    let _guard = THREAD_COUNT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = thread_count();
+    {
+        // A predicate condition is unpartitionable (one broadcast shard),
+        // so the poisoned tuple reliably reaches the pool's single resident
+        // worker once the batch crosses the inline threshold.
+        let pipeline = mswj::session()
+            .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
+            .on_predicate("explodes-on-13", |tuples| {
+                if tuples.iter().any(|t| t.value(0) == Some(&Value::Int(13))) {
+                    panic!("synthetic shard-worker failure");
+                }
+                true
+            })
+            .no_k_slack()
+            .parallelism(ExecutionBackend::Pool { workers: 2 })
+            .build()
+            .unwrap();
+        let poisoned: Vec<ArrivalEvent> = (1..=256u64)
+            .map(|i| {
+                let ts = Timestamp::from_millis(i * 2);
+                let key = if i == 200 { 13 } else { (i % 5) as i64 };
+                ArrivalEvent::new(
+                    ts,
+                    Tuple::new(((i % 2) as usize).into(), i, ts, vec![Value::Int(key)]),
+                )
+            })
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut pipeline = pipeline;
+            pipeline.push_batch_into(poisoned, &mut NullSink);
+            // The epoch may be deferred; the end-of-stream barrier must
+            // re-raise the worker's panic on this thread.
+            let _ = pipeline.finish_into(&mut NullSink);
+        }));
+        let payload = result.expect_err("the worker panic must surface to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("synthetic shard-worker failure"),
+            "the original panic payload must be preserved, got: {msg:?}"
+        );
+    }
+    // The pool (dropped during the unwind) must still have joined its
+    // workers — a panicked worker, and its healthy siblings, all exit.
+    if let Some(base) = baseline {
+        assert_threads_return_to(base);
+    }
+}
+
+#[test]
+fn sync_after_drop_boundary_is_idempotent() {
+    // `finish_into` after heavy pipelined traffic: every deferred epoch is
+    // collected exactly once, the report's counters reconcile, and a fresh
+    // session can be built immediately after.
+    for _ in 0..3 {
+        let mut pipeline = pool_session(3);
+        let mut sink = CountingSink::default();
+        for chunk in events(600).chunks(150) {
+            pipeline.push_batch_into(chunk.iter().cloned(), &mut sink);
+        }
+        let report = pipeline.finish_into(&mut sink);
+        let shard_results: u64 = report.shard_stats.iter().map(|s| s.operator.results).sum();
+        assert_eq!(shard_results, report.total_produced);
+        let enqueued: u64 = report
+            .shard_stats
+            .iter()
+            .map(|s| s.runtime.epochs_enqueued)
+            .sum();
+        let executed: u64 = report
+            .shard_stats
+            .iter()
+            .map(|s| s.runtime.epochs_executed)
+            .sum();
+        assert_eq!(enqueued, executed, "every submitted epoch was collected");
+        assert!(executed > 0, "150-event batches run through the pool");
+    }
+}

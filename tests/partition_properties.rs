@@ -10,6 +10,12 @@
 //!   expands) on `Threads(3)`, every live tuple sits in the shard the
 //!   partitioner routes it to, and the in-scope window content per stream
 //!   equals the sequential reference exactly.
+//! * The resident pool's pipelined epochs merge deterministically: for
+//!   arbitrary tuple streams chopped into arbitrary batch sizes (some
+//!   below the inline threshold, some deferring an epoch across flush
+//!   boundaries), the `Pool` engine emits the **exact ordered event
+//!   stream** — results *and* per-tuple outcomes — of the sequential
+//!   engine.
 
 use mswj::prelude::*;
 use mswj_join::{join_key_hash, Partitioner, Route};
@@ -177,5 +183,76 @@ proptest! {
         let b = sequential.finish();
         prop_assert_eq!(a.total_produced, b.total_produced);
         prop_assert_eq!(a.produced, b.produced);
+    }
+}
+
+/// Raw tuple stream (no pipeline front-end): interleaved streams, mild
+/// disorder, small key domain so shards share work.
+fn raw_tuple_strategy(len: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec((0u64..2, 0u64..80, 0i64..6), len).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (stream, back, key))| {
+                let ts = ((i as u64 + 1) * 8).saturating_sub(back);
+                Tuple::new(
+                    (stream as usize).into(),
+                    i as u64,
+                    Timestamp::from_millis(ts),
+                    vec![Value::Int(key)],
+                )
+            })
+            .collect()
+    })
+}
+
+/// Drives `tuples` through a [`JoinEngine`] in batches sized by `cuts`
+/// (cycled), recording the *ordered* event stream.
+fn engine_event_stream(backend: ExecutionBackend, tuples: &[Tuple], cuts: &[usize]) -> Vec<String> {
+    use mswj_join::{CommonKeyEquiJoin, JoinQuery};
+    use std::sync::Arc;
+    let streams =
+        StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), 300).unwrap();
+    let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+    let query = JoinQuery::new("pool-epochs", streams, cond).unwrap();
+    let mut engine = JoinEngine::new(query, ProbeStrategy::Auto, true, backend);
+    let mut events = Vec::new();
+    let mut handler = |ev: mswj_core::EngineEvent<'_>| match ev {
+        mswj_core::EngineEvent::Result(r) => events.push(format!("R {r}")),
+        mswj_core::EngineEvent::Done(o) => events.push(format!("D {o:?}")),
+    };
+    let mut rest = tuples;
+    let mut c = 0usize;
+    while !rest.is_empty() {
+        let take = cuts[c % cuts.len()].min(rest.len());
+        c += 1;
+        let (batch, tail) = rest.split_at(take);
+        engine.push_batch(batch.iter().cloned(), &mut handler);
+        rest = tail;
+    }
+    engine.sync(&mut handler);
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn pipelined_pool_epochs_preserve_the_deterministic_merge(
+        tuples in raw_tuple_strategy(220),
+        pool_cuts in proptest::collection::vec(1usize..90, 1..8),
+        seq_cuts in proptest::collection::vec(1usize..90, 1..8),
+    ) {
+        // The sequential reference is batch-size-invariant, so cut it
+        // differently on purpose: only the *merged stream* may matter.
+        let reference = engine_event_stream(ExecutionBackend::Sequential, &tuples, &seq_cuts);
+        let pooled = engine_event_stream(
+            ExecutionBackend::Pool { workers: 3 },
+            &tuples,
+            &pool_cuts,
+        );
+        // Exact ordered equality — not just multisets: epoch deferral and
+        // the shard-order merge must reproduce the sequential interleaving
+        // of results and outcomes event for event.
+        prop_assert_eq!(reference, pooled);
     }
 }

@@ -153,6 +153,54 @@ fn joining_counting_session_still_stays_allocation_free_per_event() {
 }
 
 #[test]
+fn parallel_backends_small_batch_fallback_stays_allocation_free() {
+    // Single-event `push_into` on the parallel backends takes the
+    // sub-threshold inline fallback: no scoped spawn (`Threads`), no epoch
+    // enqueue (`Pool`) — and, like the sequential path, no per-event heap
+    // allocation once the scratch buffers have their capacity.  The pool's
+    // resident workers are idle the whole time (every batch is far below
+    // the threshold), so the fallback locks uncontended shard mutexes.
+    let _guard = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for backend in [
+        ExecutionBackend::Threads(4),
+        ExecutionBackend::Pool { workers: 4 },
+    ] {
+        let mut pipeline = mswj::session()
+            .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 100)
+            .on_common_key("a1")
+            .no_k_slack()
+            .parallelism(backend)
+            .build()
+            .unwrap();
+        let warmup = events(1, 400);
+        let measured = events(400, 800);
+        let n = measured.len() as u64;
+        for e in warmup {
+            pipeline.push(e);
+        }
+        let before = allocations();
+        for e in measured {
+            pipeline.push(e);
+        }
+        let during = allocations() - before;
+        assert!(
+            during <= n / 8,
+            "{backend} fallback path allocated {during} times for {n} events"
+        );
+        let report = pipeline.finish();
+        assert_eq!(report.operator_stats.in_order, 799, "{backend}");
+        // Proof the fallback really ran: no epochs were ever enqueued.
+        assert!(
+            report
+                .shard_stats
+                .iter()
+                .all(|s| s.runtime.epochs_enqueued == 0),
+            "{backend} sub-threshold batches must never enqueue an epoch"
+        );
+    }
+}
+
+#[test]
 fn indexed_probe_path_reuses_buckets_without_allocating() {
     // The indexed probe path in steady state: keys rotate through a small
     // domain, so every probe walks a different hash bucket and every insert
