@@ -29,7 +29,7 @@
 //! ```
 
 use crate::config::{DisorderConfig, SelectivityStrategy};
-use crate::engine::ExecutionBackend;
+use crate::engine::{ExecutionBackend, SkewConfig};
 use crate::pipeline::Pipeline;
 use crate::policy::BufferPolicy;
 use mswj_join::{
@@ -103,6 +103,7 @@ pub struct SessionBuilder {
     materialize: bool,
     probe: ProbeStrategy,
     backend: ExecutionBackend,
+    skew: Option<SkewConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -139,6 +140,7 @@ impl SessionBuilder {
             materialize: false,
             probe: ProbeStrategy::default(),
             backend: ExecutionBackend::default(),
+            skew: None,
         }
     }
 
@@ -336,6 +338,33 @@ impl SessionBuilder {
         self
     }
 
+    /// Arms adaptive hot-key splitting on the sharded join stage with the
+    /// default [`SkewConfig`] thresholds.
+    ///
+    /// Plain hash routing pins each key class — its build state *and* its
+    /// probe work — to one shard, so a Zipf-hot key degrades an `n`-shard
+    /// stage to one shard.  With splitting armed, the engine watches the
+    /// routed traffic in windows between barriers; a key class exceeding
+    /// [`SkewConfig::split_share`] of a window switches to
+    /// *replicated-build / split-probe* routing (its state is replicated to
+    /// every shard and its probes spread round-robin), and reverts once its
+    /// share falls below [`SkewConfig::unsplit_share`].  Results stay
+    /// byte-identical to a run without splitting, on every backend.
+    ///
+    /// The knob is inert when the plan cannot split soundly: a single
+    /// shard, or a condition that leaves some stream broadcast-routed.
+    pub fn skew_splitting(self) -> Self {
+        self.skew_splitting_with(SkewConfig::default())
+    }
+
+    /// Arms adaptive hot-key splitting with explicit thresholds — see
+    /// [`SessionBuilder::skew_splitting`].  The config is validated at
+    /// [`SessionBuilder::build`].
+    pub fn skew_splitting_with(mut self, config: SkewConfig) -> Self {
+        self.skew = Some(config);
+        self
+    }
+
     /// Validates the declaration and constructs the [`Pipeline`].
     ///
     /// # Errors
@@ -345,9 +374,10 @@ impl SessionBuilder {
     /// missing join condition, a condition whose arity disagrees with the
     /// stream count, both a prebuilt query and inline streams, disorder
     /// overrides on a policy without a configuration, a zero-worker
-    /// [`ExecutionBackend::Threads`] or [`ExecutionBackend::Pool`], or a
+    /// [`ExecutionBackend::Threads`] or [`ExecutionBackend::Pool`], a
     /// [`DisorderConfig`] violating `0 < Γ ≤ 1`, `0 < L ≤ P`, `b > 0`,
-    /// `g > 0`.
+    /// `g > 0`, or a [`SkewConfig`] whose thresholds are out of range or
+    /// lack a hysteresis band.
     pub fn build(self) -> Result<Pipeline> {
         if self.backend == ExecutionBackend::Threads(0) {
             return Err(Error::InvalidConfig(
@@ -362,6 +392,9 @@ impl SessionBuilder {
                  Pool { workers: 1.. } or the Sequential backend"
                     .into(),
             ));
+        }
+        if let Some(skew) = &self.skew {
+            skew.validate().map_err(Error::InvalidConfig)?;
         }
         let policy = Self::resolve_policy(self.policy, self.overrides)?;
         let query = match self.query {
@@ -390,7 +423,14 @@ impl SessionBuilder {
                 JoinQuery::new(self.name, streams, condition)?
             }
         };
-        Pipeline::construct(query, policy, self.materialize, self.probe, self.backend)
+        Pipeline::construct(
+            query,
+            policy,
+            self.materialize,
+            self.probe,
+            self.backend,
+            self.skew,
+        )
     }
 
     /// Resolves the effective policy from the explicit choice plus the

@@ -54,6 +54,51 @@
 //! below [`JoinEngine::SMALL_BATCH_THRESHOLD`] routed items, so
 //! single-event ingestion never pays a spawn or an enqueue round-trip.
 //!
+//! Picking a backend and reading the per-shard counters:
+//!
+//! ```
+//! use mswj_core::{EngineEvent, ExecutionBackend, JoinEngine};
+//! use mswj_join::{CommonKeyEquiJoin, JoinQuery, ProbeStrategy};
+//! use mswj_types::{FieldType, Schema, StreamSet, Timestamp, Tuple, Value};
+//! use std::sync::Arc;
+//!
+//! let streams =
+//!     StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), 1_000).unwrap();
+//! let cond = Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap());
+//! let query = JoinQuery::new("doc", streams, cond).unwrap();
+//!
+//! // Threads(4): four shards, scoped workers per batch — best for large,
+//! // bursty batches.  Pool { workers: 4 } keeps resident workers and
+//! // pipelines batches instead; Sequential is the single-shard reference.
+//! let backend = ExecutionBackend::Threads(4);
+//! let mut engine = JoinEngine::new(query, ProbeStrategy::Auto, false, backend);
+//! assert_eq!(engine.shard_count(), 4);
+//!
+//! let mut matches = 0u64;
+//! engine.push_batch(
+//!     (0..100u64).map(|i| {
+//!         let (stream, key) = ((i % 2) as usize, (i / 2 % 8) as i64);
+//!         Tuple::new(stream.into(), i, Timestamp::from_millis(i * 10), vec![Value::Int(key)])
+//!     }),
+//!     &mut |ev| {
+//!         if let EngineEvent::Done(outcome) = ev {
+//!             matches += outcome.n_join;
+//!         }
+//!     },
+//! );
+//! engine.sync(&mut |_| {});
+//! assert!(matches > 0);
+//!
+//! // ShardRuntimeStats: routing volume and queue pressure per shard — the
+//! // raw signal behind skew detection.
+//! for s in 0..engine.shard_count() {
+//!     let rt = engine.runtime_stats(s);
+//!     assert!(rt.routed > 0, "8 keys spread over 4 shards");
+//!     assert!(rt.max_queue_depth as u64 <= rt.routed);
+//! }
+//! assert_eq!(engine.heavy_hitter(), None, "this workload is balanced");
+//! ```
+//!
 //! ## Determinism
 //!
 //! Events are emitted in staging order; a broadcast tuple's results are
@@ -62,6 +107,28 @@
 //! `Pool { workers: n }` produce the same result multiset (and, because
 //! `n_x(e)` is computed globally, the same adaptation trajectory) for any
 //! `n` — pinned by `tests/differential_backends.rs`.
+//!
+//! ## Skew: detection and hot-key splitting
+//!
+//! Hash routing pins each key class to one shard, so a hot key turns "n
+//! shards" into one.  Two mechanisms respond, both driven by the windowed
+//! per-shard routing counters (see [`JoinEngine::heavy_hitter`] and the
+//! [`skew`] module):
+//!
+//! * **Detection** is always on: when one shard takes the majority of an
+//!   evaluation window's routed items, a warning is logged (re-armed once
+//!   the imbalance clears, so late-emerging hot keys are reported too).
+//! * **Splitting** is opt-in ([`JoinEngine::with_skew`], or
+//!   `SessionBuilder::skew_splitting` through the pipeline): a detected hot
+//!   key class switches to *replicated build / split probe* routing — its
+//!   inserts fan out to every shard's build state, each of its probes runs
+//!   on one shard round-robin, and the deterministic shard-order merge
+//!   keeps output byte-identical to the single-shard path.  Transitions
+//!   only happen at epoch barriers (no work in flight), the live build
+//!   state of the class is migrated/purged at the same barrier, and every
+//!   transition is recorded in [`JoinEngine::skew_transitions`].
+//!
+//! See `docs/ARCHITECTURE.md` for the full contract.
 //!
 //! ## Fallback
 //!
@@ -72,14 +139,17 @@
 mod exec;
 mod occupancy;
 mod pool;
+pub mod skew;
 
 use mswj_join::{
-    JoinQuery, JoinResult, MswjOperator, OperatorStats, Partitioner, ProbeOutcome, ProbePlan,
-    ProbeStrategy, Route,
+    join_key_hash, JoinQuery, JoinResult, MswjOperator, OperatorStats, Partitioner, ProbeOutcome,
+    ProbePlan, ProbeStrategy, Route, RoutingTable,
 };
 use mswj_types::{StreamIndex, Timestamp, Tuple};
 use occupancy::Occupancy;
 use pool::{Epoch, ShardPool, Task};
+use skew::SkewDetector;
+pub use skew::{SkewConfig, SkewTransition};
 use std::collections::VecDeque;
 
 /// How the sharded join stage executes a routed batch.
@@ -251,6 +321,10 @@ struct PendingEpoch {
     decisions: Vec<Decision>,
     /// Which shards received a task for this epoch.
     mask: Vec<bool>,
+    /// The [`RoutingTable`] epoch the items were routed under.  Routing
+    /// transitions only happen at barriers, so this must still be the
+    /// table's epoch when the tasks come back — asserted at collection.
+    routing_epoch: u64,
 }
 
 /// The sharded join stage: routing front plus `n` shard operators.
@@ -270,7 +344,21 @@ pub struct JoinEngine {
     occupancy: Occupancy,
     stats: OperatorStats,
     runtime: Vec<ShardRuntimeStats>,
-    skew_warned: bool,
+    /// Which key classes are currently replicated-build / split-probe.
+    table: RoutingTable,
+    /// The windowed hot-key detector; `None` unless splitting was opted
+    /// into *and* the plan supports it (every stream key-routed).
+    detector: Option<SkewDetector>,
+    /// Every split/unsplit transition taken, in decision order.
+    transitions: Vec<SkewTransition>,
+    /// Round-robin cursor choosing the probe shard of split-routed tuples.
+    split_rr: u64,
+    /// Per-shard `routed` snapshot at the last skew-evaluation window
+    /// reset: `routed - hh_base` is the windowed routing volume.
+    hh_base: Vec<u64>,
+    /// The shard last warned about as a heavy hitter; cleared (re-armed)
+    /// when an evaluation window comes back balanced.
+    hh_warned: Option<usize>,
     /// Staged tuples awaiting the next [`JoinEngine::flush`].
     pending: Vec<Tuple>,
     /// Reusable routing / execution buffers (capacity persists across
@@ -309,7 +397,8 @@ impl JoinEngine {
     /// path is allocation-free in steady state.
     pub const SMALL_BATCH_THRESHOLD: usize = 32;
 
-    /// Minimum lifetime routed-item count before skew detection speaks up.
+    /// Minimum routed-item count in a detection window before skew
+    /// detection speaks up; thinner windows carry forward.
     const SKEW_MIN_ROUTED: u64 = 1_024;
 
     /// Builds the engine for a query: plans the probe path, derives the
@@ -325,6 +414,27 @@ impl JoinEngine {
         enumerate: bool,
         backend: ExecutionBackend,
     ) -> Self {
+        Self::with_skew(query, strategy, enumerate, backend, None)
+    }
+
+    /// Like [`JoinEngine::new`], with adaptive hot-key splitting armed when
+    /// `skew` is `Some`: key classes crossing
+    /// [`SkewConfig::split_share`] of a detection window switch to
+    /// replicated-build / split-probe routing (and revert below
+    /// [`SkewConfig::unsplit_share`]).  Detection windows are evaluated at
+    /// [`JoinEngine::sync`] barriers only, so routing never changes while
+    /// work is in flight and every backend takes identical decisions.
+    ///
+    /// The knob is ignored (no detector is armed) when the plan cannot
+    /// split soundly — broadcast streams or a single shard; see
+    /// [`Partitioner::supports_splitting`].
+    pub fn with_skew(
+        query: JoinQuery,
+        strategy: ProbeStrategy,
+        enumerate: bool,
+        backend: ExecutionBackend,
+        skew: Option<SkewConfig>,
+    ) -> Self {
         let equi = query.condition().equi_structure();
         let plan = ProbePlan::new(strategy, equi.as_ref());
         let partitioner = Partitioner::new(&plan, backend.requested_shards());
@@ -336,6 +446,9 @@ impl JoinEngine {
             ExecutionBackend::Pool { .. } => (Vec::new(), Some(ShardPool::new(operators))),
             _ => (operators, None),
         };
+        let detector = skew
+            .filter(|_| partitioner.supports_splitting())
+            .map(SkewDetector::new);
         let m = query.arity();
         JoinEngine {
             shards,
@@ -349,7 +462,12 @@ impl JoinEngine {
             occupancy: Occupancy::new(m),
             stats: OperatorStats::default(),
             runtime: vec![ShardRuntimeStats::default(); n],
-            skew_warned: false,
+            table: RoutingTable::new(),
+            detector,
+            transitions: Vec::new(),
+            split_rr: 0,
+            hh_base: vec![0; n],
+            hh_warned: None,
             pending: Vec::new(),
             decisions: Vec::new(),
             queues: (0..n).map(|_| VecDeque::new()).collect(),
@@ -438,27 +556,58 @@ impl JoinEngine {
         self.enumerate
     }
 
-    /// The shard currently holding the majority of all routed events, if
-    /// any — `Some(s)` once shard `s` has received more than half of the
-    /// (at least 1 024) items routed so far on a
-    /// multi-shard engine.  A one-time warning is logged when this first
-    /// trips; key-splitting for such heavy hitters is future work (see
-    /// ROADMAP).
+    /// The shard holding the majority of the routed events in the current
+    /// *detection window*, if any — `Some(s)` once shard `s` has received
+    /// more than half of the (at least 1 024, or the configured
+    /// [`SkewConfig::min_routed`]) items routed since the last
+    /// [`JoinEngine::sync`] barrier that closed a window.
+    ///
+    /// Windowed, not lifetime: a hot key that emerges after a long balanced
+    /// phase still trips this, because earlier balanced traffic was retired
+    /// with its window.  A warning is logged when a window closes on a
+    /// heavy hitter and re-arms once a window comes back balanced, so a
+    /// *new* hot shard is reported even late in a run.
     pub fn heavy_hitter(&self) -> Option<usize> {
         if self.shard_count() <= 1 {
             return None;
         }
-        let total: u64 = self.runtime.iter().map(|r| r.routed).sum();
-        if total < Self::SKEW_MIN_ROUTED {
+        let windowed = |s: usize| self.runtime[s].routed - self.hh_base[s];
+        let total: u64 = (0..self.runtime.len()).map(windowed).sum();
+        if total < self.skew_min_routed() {
             return None;
         }
-        let (s, max) = self
-            .runtime
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, r)| r.routed)
-            .map(|(s, r)| (s, r.routed))?;
+        let (s, max) = (0..self.runtime.len())
+            .map(|s| (s, windowed(s)))
+            .max_by_key(|&(_, routed)| routed)?;
         (max * 2 > total).then_some(s)
+    }
+
+    /// The evidence floor of the skew-detection window: the configured
+    /// [`SkewConfig::min_routed`] when splitting is armed, the built-in
+    /// default otherwise.
+    fn skew_min_routed(&self) -> u64 {
+        self.detector
+            .as_ref()
+            .map(|d| d.config().min_routed)
+            .unwrap_or(Self::SKEW_MIN_ROUTED)
+    }
+
+    /// Whether adaptive hot-key splitting is armed on this engine (opted
+    /// in *and* supported by the plan).
+    pub fn skew_splitting_enabled(&self) -> bool {
+        self.detector.is_some()
+    }
+
+    /// The key classes (by [`join_key_hash`]) currently routed as
+    /// replicated-build / split-probe, sorted ascending.
+    pub fn split_classes(&self) -> &[u64] {
+        self.table.split_classes()
+    }
+
+    /// Every split/unsplit transition the skew detector has taken, in
+    /// decision order.
+    pub fn skew_transitions(&self) -> &[SkewTransition] {
+        &self.transitions
     }
 
     /// Stages one synchronized tuple for the next [`JoinEngine::flush`].
@@ -515,9 +664,17 @@ impl JoinEngine {
     }
 
     fn flush_impl(&mut self, f: &mut dyn FnMut(EngineEvent<'_>), barrier: bool) {
+        self.execute_pending(f, barrier);
+        if barrier {
+            // Every shard is idle after a barrier flush: the only point
+            // where routing may change and state may migrate.
+            self.evaluate_skew();
+        }
+    }
+
+    fn execute_pending(&mut self, f: &mut dyn FnMut(EngineEvent<'_>), barrier: bool) {
         if !self.pending.is_empty() {
             self.route_pending();
-            self.note_skew();
         }
         // The deferred epoch's events precede this batch's in staging
         // order, so it is always collected first.
@@ -603,6 +760,7 @@ impl JoinEngine {
                 items,
                 sub: std::mem::take(&mut self.sub[s]),
                 mat: std::mem::take(&mut self.mat[s]),
+                routing_epoch: self.table.epoch(),
             };
             self.pool
                 .as_mut()
@@ -617,6 +775,7 @@ impl JoinEngine {
             epoch,
             decisions,
             mask,
+            routing_epoch: self.table.epoch(),
         });
     }
 
@@ -636,6 +795,15 @@ impl JoinEngine {
                 continue;
             }
             let out = pool.collect(s, pend.epoch);
+            debug_assert_eq!(
+                out.routing_epoch, pend.routing_epoch,
+                "routing changed while an epoch was in flight"
+            );
+            debug_assert_eq!(
+                pend.routing_epoch,
+                self.table.epoch(),
+                "routing transitions must wait for the outstanding epoch"
+            );
             self.runtime[s].busy_nanos += out.busy_nanos;
             self.runtime[s].epochs_executed += 1;
             self.spare_items[s] = out.items;
@@ -714,29 +882,71 @@ impl JoinEngine {
     }
 
     /// Queues one tuple's shard work according to its route, maintaining
-    /// the per-shard routing-volume and queue-depth counters.
+    /// the per-shard routing-volume and queue-depth counters.  Key-routed
+    /// tuples feed the skew detector and consult the [`RoutingTable`]: a
+    /// split class fans its tuple out to every shard, but flags it as a
+    /// *probe* on exactly one — chosen round-robin so the hot class's probe
+    /// work spreads evenly — while the remaining shards only maintain their
+    /// replica windows (insert, expire).  Every replica sees the same tuple
+    /// sequence, so any shard answers a split probe with the full class.
     fn enqueue(&mut self, seq: u32, probe: bool, tuple: Tuple) -> Placement {
-        match self.partitioner.route(&tuple) {
+        let route = match self.partitioner.key_hash(&tuple) {
+            Some(hash) => {
+                if let Some(det) = &mut self.detector {
+                    det.observe(hash);
+                }
+                if self.table.is_split(hash) {
+                    Route::Split
+                } else {
+                    Route::One(self.partitioner.home_shard(hash))
+                }
+            }
+            None => self.partitioner.route(&tuple),
+        };
+        match route {
             Route::One(s) => {
                 self.queues[s].push_back(Item { seq, probe, tuple });
                 self.note_routed(s);
                 Placement::One(s as u32)
             }
             Route::All => {
-                let last = self.queues.len() - 1;
-                for s in 0..last {
-                    self.queues[s].push_back(Item {
-                        seq,
-                        probe,
-                        tuple: tuple.clone(),
-                    });
-                    self.note_routed(s);
+                self.fan_out(seq, probe, self.queues.len(), tuple);
+                Placement::All
+            }
+            Route::Split => {
+                let n = self.queues.len();
+                let p = (self.split_rr % n as u64) as usize;
+                if probe {
+                    // Late (probe-less) split tuples only maintain the
+                    // replicas; they must not advance the probe cursor, or
+                    // disorder would perturb the probe placement sequence.
+                    self.split_rr = self.split_rr.wrapping_add(1);
                 }
-                self.queues[last].push_back(Item { seq, probe, tuple });
-                self.note_routed(last);
+                self.fan_out(seq, probe, p, tuple);
                 Placement::All
             }
         }
+    }
+
+    /// Pushes `tuple` to every shard queue, flagged as a probe only on
+    /// shard `p` (`p >= shard count` means "probe everywhere", the
+    /// broadcast case).
+    fn fan_out(&mut self, seq: u32, probe: bool, p: usize, tuple: Tuple) {
+        let last = self.queues.len() - 1;
+        for s in 0..last {
+            self.queues[s].push_back(Item {
+                seq,
+                probe: probe && (s == p || p > last),
+                tuple: tuple.clone(),
+            });
+            self.note_routed(s);
+        }
+        self.queues[last].push_back(Item {
+            seq,
+            probe: probe && p >= last,
+            tuple,
+        });
+        self.note_routed(last);
     }
 
     /// Folds one routed item into shard `s`'s runtime counters.
@@ -749,26 +959,168 @@ impl JoinEngine {
         }
     }
 
-    /// Logs the one-time heavy-hitter warning once a single shard holds the
-    /// majority of all routed events.  Suppress with `MSWJ_NO_SKEW_WARNING`
-    /// (the signal stays available through [`JoinEngine::heavy_hitter`] and
-    /// the per-shard `routed` counters either way).
-    fn note_skew(&mut self) {
-        if self.skew_warned {
+    /// Closes the current skew-detection window if it holds enough
+    /// evidence: logs/re-arms the heavy-hitter warning and, when splitting
+    /// is armed, applies the detector's split/unsplit transitions —
+    /// migrating or purging the affected key classes' build state.
+    ///
+    /// Must only run at a barrier: every queue drained, no epoch
+    /// outstanding.  That is what makes a routing change an epoch barrier —
+    /// in-flight work always executes under the table it was routed with —
+    /// and it is also what makes the decisions backend-invariant, because
+    /// barriers sit at workload-determined points (checkpoints, buffer-size
+    /// changes, end of stream).
+    fn evaluate_skew(&mut self) {
+        if self.shard_count() <= 1 {
             return;
         }
-        if let Some(s) = self.heavy_hitter() {
-            self.skew_warned = true;
-            if std::env::var_os("MSWJ_NO_SKEW_WARNING").is_some() {
-                return;
+        debug_assert!(
+            self.outstanding.is_none() && self.queues.iter().all(VecDeque::is_empty),
+            "skew evaluation requires an idle engine"
+        );
+        let windowed: u64 = (0..self.runtime.len())
+            .map(|s| self.runtime[s].routed - self.hh_base[s])
+            .sum();
+        if windowed < self.skew_min_routed() {
+            return; // Too thin to judge: carry the window forward.
+        }
+        self.note_heavy_hitter();
+        if self.detector.is_some() {
+            self.apply_split_transitions();
+        }
+        // Start a fresh window.
+        for s in 0..self.runtime.len() {
+            self.hh_base[s] = self.runtime[s].routed;
+        }
+        if let Some(det) = &mut self.detector {
+            det.reset();
+        }
+    }
+
+    /// Logs the heavy-hitter warning when the closing window put a
+    /// majority of its routed events on one shard; re-arms when a window
+    /// comes back balanced, so a late-emerging hot key is reported even
+    /// after an earlier warning.  Suppress the log with
+    /// `MSWJ_NO_SKEW_WARNING` (the signal stays available through
+    /// [`JoinEngine::heavy_hitter`] and the per-shard `routed` counters).
+    fn note_heavy_hitter(&mut self) {
+        let Some(s) = self.heavy_hitter() else {
+            self.hh_warned = None;
+            return;
+        };
+        if self.hh_warned == Some(s) {
+            return;
+        }
+        self.hh_warned = Some(s);
+        if std::env::var_os("MSWJ_NO_SKEW_WARNING").is_some() {
+            return;
+        }
+        let windowed = |s: usize| self.runtime[s].routed - self.hh_base[s];
+        let total: u64 = (0..self.runtime.len()).map(windowed).sum();
+        let held = windowed(s);
+        let hint = if self.detector.is_some() {
+            "hot-key splitting is armed and will redistribute it"
+        } else {
+            "consider arming skew_splitting() on the session builder"
+        };
+        eprintln!(
+            "mswj: heavy hitter detected — shard {s} took {held} of {total} routed \
+             events (> 50%) in the current detection window; the key distribution \
+             pins this shard's bucket, {hint}"
+        );
+    }
+
+    /// Applies the detector's verdict on the closing window: reverts split
+    /// classes that went cold (purging their replicas), then splits new hot
+    /// classes (replicating their build state), recording every transition.
+    fn apply_split_transitions(&mut self) {
+        let det = self.detector.as_ref().expect("caller checked");
+        let (to_split, to_unsplit) = det.evaluate(&self.table);
+        for (hash, share) in to_unsplit {
+            if self.table.unsplit(hash) {
+                self.purge_replicas(hash);
+                self.transitions.push(SkewTransition {
+                    key_hash: hash,
+                    split: false,
+                    share,
+                    at: self.on_t,
+                });
             }
-            let total: u64 = self.runtime.iter().map(|r| r.routed).sum();
-            let held = self.runtime[s].routed;
-            eprintln!(
-                "mswj: heavy hitter detected — shard {s} holds {held} of {total} routed \
-                 events (> 50%); the key distribution pins this shard's bucket, consider \
-                 key-splitting (ROADMAP: skew handling)"
-            );
+        }
+        for (hash, share) in to_split {
+            if self.table.split(hash) {
+                self.replicate_build_state(hash);
+                self.transitions.push(SkewTransition {
+                    key_hash: hash,
+                    split: true,
+                    share,
+                    at: self.on_t,
+                });
+            }
+        }
+    }
+
+    /// Copies the live build state of key class `hash` from its home shard
+    /// into every other shard, so any shard can answer a split probe with
+    /// the full class.  Runs at a barrier; copies are *adopted* (no
+    /// operator statistics) and land in timestamp order, so replica windows
+    /// enumerate the class exactly as the home shard does.
+    fn replicate_build_state(&mut self, hash: u64) {
+        let n = self.shard_count();
+        let home = self.partitioner.home_shard(hash);
+        for i in 0..self.query.arity() {
+            let Some(col) = self.partitioner.column(i) else {
+                // supports_splitting() guarantees key-routed streams.
+                debug_assert!(false, "split routing requires key-routed streams");
+                continue;
+            };
+            let class: Vec<Tuple> = self
+                .shard(home)
+                .window(StreamIndex(i))
+                .iter()
+                .filter(|t| join_key_hash(t.value(col)) == hash)
+                .cloned()
+                .collect();
+            if class.is_empty() {
+                continue;
+            }
+            for s in (0..n).filter(|&s| s != home) {
+                self.with_shard_mut(s, |op| {
+                    for t in &class {
+                        op.adopt(t.clone());
+                    }
+                });
+            }
+        }
+    }
+
+    /// Removes the replicated build state of key class `hash` from every
+    /// non-home shard.  The home shard keeps the full class (it received
+    /// every fan-out insert), so plain hash routing resumes losslessly —
+    /// and a later re-split starts from replica-free shards, which is what
+    /// keeps re-replication from duplicating state.
+    fn purge_replicas(&mut self, hash: u64) {
+        let n = self.shard_count();
+        let home = self.partitioner.home_shard(hash);
+        for s in (0..n).filter(|&s| s != home) {
+            for i in 0..self.query.arity() {
+                let Some(col) = self.partitioner.column(i) else {
+                    continue;
+                };
+                self.with_shard_mut(s, |op| {
+                    op.evict_where(StreamIndex(i), |t| join_key_hash(t.value(col)) != hash)
+                });
+            }
+        }
+    }
+
+    /// Mutable access to one shard operator, wherever the backend keeps it.
+    /// On the `Pool` backend this locks the worker's cell (the worker is
+    /// idle at every call site: state surgery only happens at barriers).
+    fn with_shard_mut<R>(&mut self, s: usize, f: impl FnOnce(&mut MswjOperator) -> R) -> R {
+        match &mut self.pool {
+            Some(pool) => f(&mut pool.lock_shard(s)),
+            None => f(&mut self.shards[s]),
         }
     }
 }
@@ -1033,5 +1385,194 @@ mod tests {
         assert_eq!(engine.backend(), ExecutionBackend::Sequential);
         assert!(!engine.is_enumerating());
         assert_eq!(engine.on_t(), Timestamp::ZERO);
+    }
+
+    /// Aggressive thresholds so small test workloads trigger transitions.
+    fn test_skew() -> SkewConfig {
+        SkewConfig {
+            split_share: 0.4,
+            unsplit_share: 0.2,
+            min_routed: 64,
+        }
+    }
+
+    /// Runs `tuples` in batches of `chunk` with a `sync` barrier after each
+    /// batch (so skew windows are evaluated), returning sorted results,
+    /// outcomes and stats.
+    fn run_synced(
+        engine: &mut JoinEngine,
+        tuples: &[Tuple],
+        chunk: usize,
+    ) -> (Vec<String>, Vec<ProbeOutcome>, OperatorStats) {
+        let mut results = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut handler = |ev: EngineEvent<'_>| match ev {
+            EngineEvent::Result(r) => results.push(r.to_string()),
+            EngineEvent::Done(o) => outcomes.push(o),
+        };
+        for batch in tuples.chunks(chunk) {
+            engine.push_batch(batch.iter().cloned(), &mut handler);
+            engine.sync(&mut handler);
+        }
+        results.sort();
+        (results, outcomes, engine.stats())
+    }
+
+    #[test]
+    fn hot_key_splitting_replicates_state_and_preserves_results() {
+        // 60% of the traffic on key 7, the rest spread over cold keys.
+        let tuples: Vec<Tuple> = (0..600u64)
+            .map(|s| {
+                let key = if s % 10 < 6 { 7 } else { 100 + (s % 40) as i64 };
+                tup((s % 2) as usize, s, s * 2, key)
+            })
+            .collect();
+        let (want_res, want_out, want_stats) = run(ExecutionBackend::Sequential, true, &tuples);
+        for backend in [
+            ExecutionBackend::Threads(3),
+            ExecutionBackend::Pool { workers: 3 },
+        ] {
+            let mut engine = JoinEngine::with_skew(
+                equi_query(2, 1_000),
+                ProbeStrategy::Auto,
+                true,
+                backend,
+                Some(test_skew()),
+            );
+            assert!(engine.skew_splitting_enabled(), "{backend}");
+            let (res, out, stats) = run_synced(&mut engine, &tuples, 100);
+            let hot = join_key_hash(Some(&Value::Int(7)));
+            assert_eq!(
+                engine.split_classes(),
+                &[hot],
+                "the hot class must have split [{backend}]"
+            );
+            let first = engine.skew_transitions().first().expect("one transition");
+            assert!(first.split && first.key_hash == hot && first.share > 0.4);
+            // Replicated build: every shard holds the hot class's tuples.
+            for s in 0..engine.shard_count() {
+                for i in 0..2 {
+                    assert!(
+                        engine
+                            .shard(s)
+                            .window(StreamIndex(i))
+                            .iter()
+                            .any(|t| t.value(0) == Some(&Value::Int(7))),
+                        "shard {s} stream {i} must hold hot-class replicas [{backend}]"
+                    );
+                }
+            }
+            // ... and the probe work spreads: no shard took a majority of
+            // the post-split routed volume.
+            assert_eq!(res, want_res, "result multiset diverged [{backend}]");
+            assert_eq!(want_out.len(), out.len(), "{backend}");
+            for (a, b) in want_out.iter().zip(&out) {
+                assert_eq!(a.n_join, b.n_join, "{backend}");
+                assert_eq!(a.n_cross, b.n_cross, "{backend}");
+            }
+            assert_eq!(want_stats.results, stats.results, "{backend}");
+            assert_eq!(want_stats.in_order, stats.in_order, "{backend}");
+            assert_eq!(want_stats.expired, stats.expired, "{backend}");
+        }
+    }
+
+    #[test]
+    fn cooled_hot_key_unsplits_and_purges_replicas() {
+        let hot_phase: Vec<Tuple> = (0..300u64)
+            .map(|s| {
+                let key = if s % 10 < 6 { 7 } else { 100 + (s % 40) as i64 };
+                tup((s % 2) as usize, s, s * 2, key)
+            })
+            .collect();
+        // The cold phase spreads traffic evenly; timestamps advance past
+        // the window so the hot tuples also expire.
+        let cold_phase: Vec<Tuple> = (300..900u64)
+            .map(|s| tup((s % 2) as usize, s, 20_000 + s * 2, 100 + (s % 40) as i64))
+            .collect();
+        let mut engine = JoinEngine::with_skew(
+            equi_query(2, 2_000),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::Threads(3),
+            Some(test_skew()),
+        );
+        let hot = join_key_hash(Some(&Value::Int(7)));
+        run_synced(&mut engine, &hot_phase, 150);
+        assert_eq!(engine.split_classes(), &[hot], "hot phase must split");
+        run_synced(&mut engine, &cold_phase, 150);
+        assert!(
+            engine.split_classes().is_empty(),
+            "cold traffic must revert the split"
+        );
+        let trans = engine.skew_transitions();
+        assert!(trans.len() >= 2);
+        assert!(trans.first().unwrap().split);
+        assert!(!trans.last().unwrap().split);
+        // Replicas purged: only the home shard may still hold hot-class
+        // tuples (and here even those expired with the window).
+        let home = engine.partitioner().home_shard(hot);
+        for s in (0..engine.shard_count()).filter(|&s| s != home) {
+            for i in 0..2 {
+                assert!(
+                    !engine
+                        .shard(s)
+                        .window(StreamIndex(i))
+                        .iter()
+                        .any(|t| t.value(0) == Some(&Value::Int(7))),
+                    "shard {s} stream {i} must have purged its replicas"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn late_emerging_hot_key_still_trips_detection() {
+        // Regression: the detector judges *windows*, not lifetime counters.
+        // A long balanced phase must not dilute a later hot key below the
+        // majority threshold (1_200 hot of 5_296 total is only ~23%
+        // lifetime), and the warning must re-arm after a balanced window.
+        let mut engine = JoinEngine::new(
+            equi_query(2, 100_000),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::Threads(4),
+        );
+        let balanced: Vec<Tuple> = (0..4_096u64)
+            .map(|s| tup((s % 2) as usize, s, s * 2, (s % 64) as i64))
+            .collect();
+        engine.push_batch(balanced, &mut |_| {});
+        engine.sync(&mut |_| {});
+        assert_eq!(engine.heavy_hitter(), None, "balanced window");
+        let hot: Vec<Tuple> = (4_096..5_296u64)
+            .map(|s| tup((s % 2) as usize, s, s * 2, 7))
+            .collect();
+        engine.push_batch(hot, &mut |_| {});
+        let s = engine
+            .heavy_hitter()
+            .expect("a late hot key must trip windowed detection");
+        let windowed = engine.runtime_stats(s).routed;
+        assert!(windowed >= 1_200, "the hot window counts from its own base");
+    }
+
+    #[test]
+    fn splitting_is_inert_when_the_plan_cannot_split() {
+        // Nested-loop plans collapse to one broadcast shard: no detector.
+        let engine = JoinEngine::with_skew(
+            equi_query(2, 1_000),
+            ProbeStrategy::NestedLoop,
+            false,
+            ExecutionBackend::Threads(4),
+            Some(test_skew()),
+        );
+        assert!(!engine.skew_splitting_enabled());
+        // Single-shard backends cannot redistribute anything either.
+        let engine = JoinEngine::with_skew(
+            equi_query(2, 1_000),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::Sequential,
+            Some(test_skew()),
+        );
+        assert!(!engine.skew_splitting_enabled());
     }
 }

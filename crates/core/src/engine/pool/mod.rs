@@ -277,6 +277,7 @@ fn worker_loop(
             sub: task.sub,
             mat: task.mat,
             busy_nanos,
+            routing_epoch: task.routing_epoch,
             panic,
         };
         // A failed send means the engine is gone (mid-stream drop): just

@@ -33,6 +33,10 @@ pub(in crate::engine) struct Task {
     pub(in crate::engine) sub: Vec<SubOutcome>,
     /// Empty materialization buffer for the worker to fill (recycled).
     pub(in crate::engine) mat: Vec<(u32, JoinResult)>,
+    /// The [`RoutingTable`](mswj_join::RoutingTable) epoch the items were
+    /// routed under; echoed back so collection can assert that routing
+    /// never changed while the epoch was in flight.
+    pub(in crate::engine) routing_epoch: u64,
 }
 
 /// One shard's answer for one epoch.
@@ -47,6 +51,8 @@ pub(in crate::engine) struct EpochOutput {
     pub(in crate::engine) mat: Vec<(u32, JoinResult)>,
     /// Wall-clock nanoseconds the worker spent executing this epoch.
     pub(in crate::engine) busy_nanos: u64,
+    /// Echo of the task's routing-table epoch (collection asserts it).
+    pub(in crate::engine) routing_epoch: u64,
     /// The panic payload if the shard operator panicked mid-epoch; the
     /// engine resumes the unwind on the caller thread, exactly as
     /// `std::thread::scope` would have.

@@ -54,7 +54,7 @@ use crate::adaptation::BufferSizeManager;
 use crate::builder::SessionBuilder;
 use crate::config::DisorderConfig;
 use crate::engine::ShardStats;
-use crate::engine::{EngineEvent, ExecutionBackend, JoinEngine};
+use crate::engine::{EngineEvent, ExecutionBackend, JoinEngine, SkewConfig};
 use crate::kslack::KSlack;
 use crate::output::{Checkpoint, OutputEvent, RunReport};
 use crate::policy::{BufferPolicy, PdState};
@@ -137,6 +137,7 @@ impl Pipeline {
             false,
             ProbeStrategy::Auto,
             ExecutionBackend::Sequential,
+            None,
         )
     }
 
@@ -146,6 +147,7 @@ impl Pipeline {
         materialize: bool,
         probe: ProbeStrategy,
         backend: ExecutionBackend,
+        skew: Option<SkewConfig>,
     ) -> Result<Self> {
         let config: DisorderConfig = policy.config().copied().unwrap_or_default();
         config.validate()?;
@@ -158,7 +160,7 @@ impl Pipeline {
             BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
-        let engine = JoinEngine::new(query.clone(), probe, materialize, backend);
+        let engine = JoinEngine::with_skew(query.clone(), probe, materialize, backend, skew);
         Ok(Pipeline {
             kslacks: (0..m).map(|_| KSlack::new(initial_k)).collect(),
             synchronizer: Synchronizer::new(m),
@@ -405,6 +407,7 @@ impl Pipeline {
             max_observed_delay: self.lifetime_max_delay,
             duration_ms: duration,
             avg_adaptation_nanos: avg_adapt,
+            skew_transitions: self.engine.skew_transitions().to_vec(),
         }
     }
 
@@ -436,7 +439,12 @@ impl Pipeline {
     /// backend this may *defer* the batch (events arrive at the next flush
     /// boundary); `barrier` forces every deferred epoch to complete first.
     fn drive_engine<S: Sink>(&mut self, sink: &mut S, barrier: bool) {
-        if !self.engine.has_pending() && !self.engine.has_outstanding() {
+        // A barrier always reaches the engine, even when nothing is staged
+        // or outstanding: barriers are where the engine evaluates its
+        // skew-detection window, and those evaluation points must depend
+        // only on the workload (checkpoints, K changes, end of stream) —
+        // never on whether a backend happens to have an epoch in flight.
+        if !barrier && !self.engine.has_pending() && !self.engine.has_outstanding() {
             return;
         }
         let Pipeline {

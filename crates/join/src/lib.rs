@@ -36,7 +36,7 @@ pub use condition::{
     PredicateFn, StarEquiJoin,
 };
 pub use operator::{MswjOperator, OperatorStats, ProbeOutcome};
-pub use partition::{join_key_hash, Partitioner, Route};
+pub use partition::{join_key_hash, Partitioner, Route, RoutingTable};
 pub use planner::{ProbePlan, ProbeStrategy};
 pub use query::JoinQuery;
 pub use result::JoinResult;

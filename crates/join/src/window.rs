@@ -223,6 +223,38 @@ impl Window {
         expired
     }
 
+    /// Removes every live tuple for which `keep` returns `false`,
+    /// maintaining the hash indexes and unindexable counters; returns the
+    /// number of removed tuples.
+    ///
+    /// This is *state surgery*, not expiry: the removed tuples do not count
+    /// towards [`WindowStats::expired`].  The sharded engine uses it to
+    /// purge replicated hot-key build state from non-home shards when a
+    /// split key reverts to plain hash routing.
+    pub fn retain_where(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
+        let mut removed = Vec::new();
+        self.tuples.retain(|t| {
+            let keep_it = keep(t);
+            if !keep_it {
+                removed.push(t.clone());
+            }
+            keep_it
+        });
+        for t in &removed {
+            for (&col, index) in self.index.iter_mut() {
+                match classify(t.value(col)) {
+                    KeyClass::Key(key) => bucket_remove(index, key, t),
+                    KeyClass::Unindexable => {
+                        debug_assert!(index.unindexable > 0, "unindexable count underflow");
+                        index.unindexable = index.unindexable.saturating_sub(1);
+                    }
+                    KeyClass::Inert => {}
+                }
+            }
+        }
+        removed.len()
+    }
+
     /// Number of live tuples whose indexed column `col` is `Int(key)`.
     ///
     /// Falls back to a scan when the column is not indexed.
@@ -437,6 +469,33 @@ mod tests {
         assert_eq!(w.expire_before(Timestamp::from_millis(250)), 2);
         let seqs: Vec<u64> = w.matching(0, 4).map(|t| t.seq).collect();
         assert_eq!(seqs, vec![0]);
+    }
+
+    #[test]
+    fn retain_where_maintains_indexes_and_unindexable_counts() {
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        w.insert(tup(0, 100, 7));
+        w.insert(tup(1, 200, 9));
+        w.insert(tup(2, 300, 7));
+        w.insert(Tuple::new(
+            StreamIndex(0),
+            3,
+            Timestamp::from_millis(400),
+            vec![Value::Float(7.5)],
+        ));
+        assert!(!w.index_usable(0));
+        // Surgically remove key 7 and the float: middle-of-window removal,
+        // not front expiry.
+        let removed = w.retain_where(|t| t.value(0) == Some(&Value::Int(9)));
+        assert_eq!(removed, 3);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.count_key(0, 7), 0);
+        assert_eq!(w.count_key(0, 9), 1);
+        assert_eq!(w.unindexable_count(0), 0);
+        assert!(w.index_usable(0), "removing the float re-arms the index");
+        assert_eq!(w.stats().expired, 0, "surgery is not expiry");
+        // Removing nothing is a no-op.
+        assert_eq!(w.retain_where(|_| true), 0);
     }
 
     #[test]

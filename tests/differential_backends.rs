@@ -43,13 +43,27 @@ fn run(
     batch: usize,
     events: &[ArrivalEvent],
 ) -> (Vec<String>, RunReport) {
-    let mut pipeline = Pipeline::builder()
+    run_with_skew(query, policy, backend, batch, events, None)
+}
+
+/// Like [`run`], optionally arming adaptive hot-key splitting.
+fn run_with_skew(
+    query: &JoinQuery,
+    policy: &BufferPolicy,
+    backend: ExecutionBackend,
+    batch: usize,
+    events: &[ArrivalEvent],
+    skew: Option<SkewConfig>,
+) -> (Vec<String>, RunReport) {
+    let mut builder = Pipeline::builder()
         .query(query.clone())
         .policy(policy.clone())
         .parallelism(backend)
-        .materialize_results()
-        .build()
-        .unwrap();
+        .materialize_results();
+    if let Some(config) = skew {
+        builder = builder.skew_splitting_with(config);
+    }
+    let mut pipeline = builder.build().unwrap();
     let mut sink = CollectSink::default();
     if batch <= 1 {
         for e in events {
@@ -335,6 +349,83 @@ fn unpartitionable_conditions_fall_back_to_one_shard() {
             assert_eq!(p.engine().shard_count(), 1, "[{label}] {backend}");
         }
     }
+}
+
+#[test]
+fn skewed_workloads_with_splitting_match_the_unsplit_reference() {
+    // Zipf-hot workloads with adaptive hot-key splitting forced on
+    // (aggressive thresholds so the small workloads actually transition):
+    // every split backend must still be byte-identical to the *unsplit*
+    // sequential reference — same result multiset, per-probe trajectory,
+    // adaptation (checkpoint-K) sequence and ordering statistics — through
+    // K shrinks/expands, checkpoints and expiry.
+    let skew = SkewConfig {
+        split_share: 0.3,
+        unsplit_share: 0.1,
+        min_routed: 48,
+    };
+    let mut any_split = false;
+    let mut any_unsplit = false;
+    let mut k_shrunk = false;
+    let mut k_expanded = false;
+    for case in 0..10usize {
+        let mut rng = StdRng::seed_from_u64(0x5917_BA1A + case as u64);
+        let window = rng.gen_range(300u64..900);
+        let query = common_key_query(2, window);
+        let policy = policy_for(case, &mut rng);
+        // 60% of each stream's traffic on one hot key; the rest uniform.
+        // Odd cases move the hot key to another class halfway through each
+        // stream, so the first split also reverts mid-run.
+        let shift = case % 2 == 1;
+        let mut sent = [0usize; 2];
+        let events = gen_events(
+            &mut rng,
+            2,
+            120,
+            300,
+            |rng, stream, key| {
+                let j = sent[stream];
+                sent[stream] += 1;
+                let hot = if shift && j >= 60 { 13 } else { 7 };
+                vec![Value::Int(if rng.gen_bool(0.6) { hot } else { 100 + key })]
+            },
+            8,
+        );
+        let label = format!("skewed #{case}");
+        let (want, want_report) = run(&query, &policy, ExecutionBackend::Sequential, 1, &events);
+        for (backend, batch) in [
+            (ExecutionBackend::Threads(4), 64),
+            (ExecutionBackend::Pool { workers: 4 }, 64),
+            (ExecutionBackend::Pool { workers: 4 }, 1),
+        ] {
+            let (results, report) =
+                run_with_skew(&query, &policy, backend, batch, &events, Some(skew));
+            assert_eq!(
+                want, results,
+                "[{label}] {backend} with splitting must match the unsplit reference"
+            );
+            assert_eq!(want_report.produced, report.produced, "[{label}] {backend}");
+            let ks = |r: &RunReport| r.checkpoints.iter().map(|c| c.k).collect::<Vec<_>>();
+            assert_eq!(ks(&want_report), ks(&report), "[{label}] {backend}");
+            let s = (want_report.operator_stats, report.operator_stats);
+            assert_eq!(s.0.in_order, s.1.in_order, "[{label}] {backend}");
+            assert_eq!(s.0.out_of_order, s.1.out_of_order, "[{label}] {backend}");
+            assert_eq!(s.0.dropped, s.1.dropped, "[{label}] {backend}");
+            assert_eq!(s.0.expired, s.1.expired, "[{label}] {backend}");
+            any_split |= report.skew_transitions.iter().any(|t| t.split);
+            any_unsplit |= report.skew_transitions.iter().any(|t| !t.split);
+        }
+        for w in want_report.checkpoints.windows(2) {
+            k_shrunk |= w[1].k < w[0].k;
+            k_expanded |= w[1].k > w[0].k;
+        }
+    }
+    assert!(any_split, "at least one workload must actually split");
+    assert!(any_unsplit, "at least one split must revert mid-run");
+    assert!(
+        k_shrunk && k_expanded,
+        "the skewed suite must cover K shrinks and expansions"
+    );
 }
 
 #[test]

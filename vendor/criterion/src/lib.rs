@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The real crates.io `criterion` is unavailable in this build environment,
+//! so this crate re-implements the small surface the workspace benches use:
+//! [`Criterion`] with its builder knobs, [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple but honest wall-clock timing: a
+//! warm-up phase sizes the per-sample iteration count so that
+//! `sample_size` samples roughly fill `measurement_time`, then each sample
+//! times a fixed-iteration loop and the harness reports the min / median /
+//! max per-iteration time in criterion's familiar
+//! `time: [low mid high]` shape.  No statistics beyond that, no plots, no
+//! saved baselines — enough to compare variants of the same workload in
+//! one run, which is how the workspace benches are written.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back invocations of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier of one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter rendering.
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark harness: configured once per binary through the
+/// `config = ...` clause of [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Target wall-clock budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget of the warm-up phase that sizes the samples.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.config, &name.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.  `id` is anything renderable — the
+    /// real criterion accepts `&str`, `String` and `BenchmarkId` alike.
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion.config, &full, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion.config, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (formatting hook only — nothing is buffered).
+    pub fn finish(self) {}
+}
+
+/// Warm-up, sample, and report one benchmark.
+fn run_one(config: Config, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: repeatedly run single iterations until the budget is spent,
+    // to both warm caches and estimate the per-iteration cost.
+    let mut warm_iters = 0u64;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_elapsed < config.warm_up_time {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_elapsed += b.elapsed;
+        warm_iters += 1;
+    }
+    let est_iter = warm_elapsed.as_secs_f64() / warm_iters.max(1) as f64;
+    let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let iters = ((per_sample / est_iter.max(1e-9)) as u64).max(1);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let low = per_iter[0];
+    let mid = per_iter[per_iter.len() / 2];
+    let high = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<56} time: [{} {} {}]  ({} samples x {iters} iters)",
+        fmt_time(low),
+        fmt_time(mid),
+        fmt_time(high),
+        config.sample_size,
+    );
+}
+
+/// Renders seconds with criterion's unit scaling.
+fn fmt_time(secs: f64) -> String {
+    let (value, unit) = if secs >= 1.0 {
+        (secs, "s")
+    } else if secs >= 1e-3 {
+        (secs * 1e3, "ms")
+    } else if secs >= 1e-6 {
+        (secs * 1e6, "\u{b5}s")
+    } else {
+        (secs * 1e9, "ns")
+    };
+    format!("{value:.4} {unit}")
+}
+
+/// Bundles benchmark functions with a harness configuration, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point generator, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0, "the benchmark closure must have run");
+        let mut group = c.benchmark_group("group");
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales_units() {
+        assert_eq!(fmt_time(2.5), "2.5000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.5000 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.5000 \u{b5}s");
+        assert_eq!(fmt_time(2.5e-9), "2.5000 ns");
+    }
+}
