@@ -117,7 +117,7 @@ fn skewed_scaling(c: &mut Criterion) {
                 equi2(WINDOW_TUPLES),
                 ProbeStrategy::Auto,
                 false,
-                backend,
+                backend.clone(),
                 skew,
             );
             // Prefill to the steady-state window population in chunks with

@@ -333,6 +333,14 @@ impl SessionBuilder {
     /// sub-threshold batches inline, so `push_into` never pays a spawn or
     /// enqueue round-trip.  Conditions without a partitionable equi
     /// structure fall back to one broadcast shard transparently.
+    ///
+    /// [`ExecutionBackend::Remote`] places one shard behind each listed
+    /// [`Endpoint`](crate::Endpoint): an in-process server thread for
+    /// `Endpoint::InProc`, or an `mswj-shardd` process reached over a
+    /// Unix-domain/TCP socket, all speaking the versioned `mswj-wire`
+    /// protocol.  It requires a declarative join condition (closure
+    /// predicates have no wire form) and reports connection or handshake
+    /// failures as [`Error::InvalidConfig`] from `build()`.
     pub fn parallelism(mut self, backend: ExecutionBackend) -> Self {
         self.backend = backend;
         self
@@ -377,7 +385,10 @@ impl SessionBuilder {
     /// [`ExecutionBackend::Threads`] or [`ExecutionBackend::Pool`], a
     /// [`DisorderConfig`] violating `0 < Γ ≤ 1`, `0 < L ≤ P`, `b > 0`,
     /// `g > 0`, or a [`SkewConfig`] whose thresholds are out of range or
-    /// lack a hysteresis band.
+    /// lack a hysteresis band.  An [`ExecutionBackend::Remote`] backend
+    /// additionally fails here when its endpoint list is empty, the join
+    /// condition has no wire form, or connecting/handshaking with a shard
+    /// server fails.
     pub fn build(self) -> Result<Pipeline> {
         if self.backend == ExecutionBackend::Threads(0) {
             return Err(Error::InvalidConfig(

@@ -32,7 +32,7 @@
 //!
 //! ## Executors
 //!
-//! Three backends share the routing front and the shard operators:
+//! Four backends share the routing front and the shard operators:
 //!
 //! * [`ExecutionBackend::Sequential`] — one shard on the calling thread,
 //!   byte-identical to the pre-engine pipeline.
@@ -49,10 +49,19 @@
 //!   places a `sync` barrier at checkpoints, buffer-size changes and
 //!   end-of-stream, which keeps the adaptation statistics byte-identical to
 //!   `Sequential`.
+//! * [`ExecutionBackend::Remote`] — one shard *server* per endpoint, each
+//!   reached through the versioned wire protocol (the [`transport`]
+//!   submodule): an in-process server thread, or an external `mswj-shardd`
+//!   process over a Unix-domain or TCP socket.  Reuses the pool's depth-1
+//!   epoch/barrier pipeline, so every determinism guarantee carries over
+//!   unchanged; failures surface as typed [`EngineError`] panics, never as
+//!   hangs.
 //!
-//! Both parallel backends fall back to the inline executor for batches
-//! below [`JoinEngine::SMALL_BATCH_THRESHOLD`] routed items, so
+//! The `Threads` and `Pool` backends fall back to the inline executor for
+//! batches below [`JoinEngine::SMALL_BATCH_THRESHOLD`] routed items, so
 //! single-event ingestion never pays a spawn or an enqueue round-trip.
+//! (`Remote` has no inline path — the operators live behind the
+//! transport.)
 //!
 //! Picking a backend and reading the per-shard counters:
 //!
@@ -103,10 +112,10 @@
 //!
 //! Events are emitted in staging order; a broadcast tuple's results are
 //! merged in shard order.  The [`ExecutionBackend::Sequential`] backend is
-//! byte-identical to the pre-engine pipeline; `Threads(n)` and
-//! `Pool { workers: n }` produce the same result multiset (and, because
-//! `n_x(e)` is computed globally, the same adaptation trajectory) for any
-//! `n` — pinned by `tests/differential_backends.rs`.
+//! byte-identical to the pre-engine pipeline; `Threads(n)`,
+//! `Pool { workers: n }` and `Remote` produce the same result multiset
+//! (and, because `n_x(e)` is computed globally, the same adaptation
+//! trajectory) for any `n` — pinned by `tests/differential_backends.rs`.
 //!
 //! ## Skew: detection and hot-key splitting
 //!
@@ -140,20 +149,23 @@ mod exec;
 mod occupancy;
 mod pool;
 pub mod skew;
+pub mod transport;
 
 use mswj_join::{
     join_key_hash, JoinQuery, JoinResult, MswjOperator, OperatorStats, Partitioner, ProbeOutcome,
     ProbePlan, ProbeStrategy, Route, RoutingTable,
 };
-use mswj_types::{StreamIndex, Timestamp, Tuple};
+use mswj_types::{Error, StreamIndex, Timestamp, Tuple};
 use occupancy::Occupancy;
 use pool::{Epoch, ShardPool, Task};
 use skew::SkewDetector;
 pub use skew::{SkewConfig, SkewTransition};
 use std::collections::VecDeque;
+use transport::RemoteShards;
+pub use transport::{Endpoint, EngineError};
 
 /// How the sharded join stage executes a routed batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum ExecutionBackend {
     /// One shard on the calling thread — byte-identical to the pre-engine
     /// pipeline, and the default.
@@ -174,16 +186,38 @@ pub enum ExecutionBackend {
         /// Number of resident shard workers (and shards).
         workers: usize,
     },
+    /// One shard per endpoint, each a shard *server* reached through the
+    /// versioned wire protocol (`mswj-wire`): an in-process server thread
+    /// per [`Endpoint::InProc`] entry, an external `mswj-shardd` process per
+    /// socket endpoint.  Reuses the pool's depth-1 epoch/barrier pipeline,
+    /// so output stays byte-identical to [`ExecutionBackend::Sequential`];
+    /// requires a wire-expressible join condition (no closure predicates).
+    /// Construct through [`JoinEngine::try_new`] / `SessionBuilder` to get
+    /// connection errors as `Result`s.
+    Remote {
+        /// Where each shard server lives; one shard per entry.
+        endpoints: Vec<Endpoint>,
+    },
 }
 
 impl ExecutionBackend {
+    /// One in-process remote shard server per shard: every epoch
+    /// round-trips through the full wire codec without opening a socket.
+    /// The cheapest way to exercise [`ExecutionBackend::Remote`].
+    pub fn remote_inproc(shards: usize) -> Self {
+        ExecutionBackend::Remote {
+            endpoints: vec![Endpoint::InProc; shards.max(1)],
+        }
+    }
+
     /// The number of shards this backend asks for (before the plan-driven
     /// fallback to one broadcast shard).
-    pub fn requested_shards(self) -> usize {
+    pub fn requested_shards(&self) -> usize {
         match self {
             ExecutionBackend::Sequential => 1,
-            ExecutionBackend::Threads(n) => n.max(1),
-            ExecutionBackend::Pool { workers } => workers.max(1),
+            ExecutionBackend::Threads(n) => (*n).max(1),
+            ExecutionBackend::Pool { workers } => (*workers).max(1),
+            ExecutionBackend::Remote { endpoints } => endpoints.len().max(1),
         }
     }
 }
@@ -194,6 +228,7 @@ impl std::fmt::Display for ExecutionBackend {
             ExecutionBackend::Sequential => write!(f, "sequential"),
             ExecutionBackend::Threads(n) => write!(f, "threads({n})"),
             ExecutionBackend::Pool { workers } => write!(f, "pool({workers})"),
+            ExecutionBackend::Remote { endpoints } => write!(f, "remote({})", endpoints.len()),
         }
     }
 }
@@ -271,6 +306,23 @@ pub struct ShardRuntimeStats {
     /// Wall-clock nanoseconds the shard's worker spent executing epochs —
     /// worker busy time, not caller-thread time.
     pub busy_nanos: u64,
+    /// Frames sent to this shard's server (`Remote` backend; zero
+    /// otherwise).
+    pub frames_sent: u64,
+    /// Frames received from this shard's server (`Remote` backend).
+    pub frames_received: u64,
+    /// Encoded bytes sent to this shard's server, headers included
+    /// (`Remote` backend).
+    pub bytes_sent: u64,
+    /// Encoded bytes received from this shard's server, headers included
+    /// (`Remote` backend).
+    pub bytes_received: u64,
+    /// Cumulative submit→collect wall time across this shard's epochs
+    /// (`Remote` backend): transport round-trip plus remote execution.
+    pub epoch_rtt_nanos: u64,
+    /// Connection attempts beyond the first while establishing the link
+    /// (`Remote` backend).
+    pub reconnects: u64,
 }
 
 /// One shard's complete statistics: the shard operator's lifetime counters
@@ -334,6 +386,8 @@ pub struct JoinEngine {
     shards: Vec<MswjOperator>,
     /// The resident executor (`Pool` backend only).
     pool: Option<ShardPool>,
+    /// The transport links to remote shard servers (`Remote` backend only).
+    remote: Option<RemoteShards>,
     partitioner: Partitioner,
     backend: ExecutionBackend,
     query: JoinQuery,
@@ -417,6 +471,18 @@ impl JoinEngine {
         Self::with_skew(query, strategy, enumerate, backend, None)
     }
 
+    /// Fallible form of [`JoinEngine::new`] — the only way remote-backend
+    /// connection and validation failures surface as `Result`s rather than
+    /// panics.  Infallible for the local backends.
+    pub fn try_new(
+        query: JoinQuery,
+        strategy: ProbeStrategy,
+        enumerate: bool,
+        backend: ExecutionBackend,
+    ) -> Result<Self, Error> {
+        Self::try_with_skew(query, strategy, enumerate, backend, None)
+    }
+
     /// Like [`JoinEngine::new`], with adaptive hot-key splitting armed when
     /// `skew` is `Some`: key classes crossing
     /// [`SkewConfig::split_share`] of a detection window switch to
@@ -435,24 +501,73 @@ impl JoinEngine {
         backend: ExecutionBackend,
         skew: Option<SkewConfig>,
     ) -> Self {
+        Self::try_with_skew(query, strategy, enumerate, backend, skew)
+            .expect("remote backend setup failed (use try_with_skew for a Result)")
+    }
+
+    /// Fallible form of [`JoinEngine::with_skew`].  The `Remote` backend
+    /// validates its endpoint list, requires a wire-expressible join
+    /// condition, and connects + handshakes with every shard server here —
+    /// each failure comes back as [`Error::InvalidConfig`].  The local
+    /// backends never fail.
+    pub fn try_with_skew(
+        query: JoinQuery,
+        strategy: ProbeStrategy,
+        enumerate: bool,
+        backend: ExecutionBackend,
+        skew: Option<SkewConfig>,
+    ) -> Result<Self, Error> {
         let equi = query.condition().equi_structure();
         let plan = ProbePlan::new(strategy, equi.as_ref());
         let partitioner = Partitioner::new(&plan, backend.requested_shards());
         let n = partitioner.shard_count();
-        let operators: Vec<MswjOperator> = (0..n)
-            .map(|_| MswjOperator::with_probe(query.clone(), strategy, enumerate))
-            .collect();
-        let (shards, pool) = match backend {
-            ExecutionBackend::Pool { .. } => (Vec::new(), Some(ShardPool::new(operators))),
-            _ => (operators, None),
+        let (shards, pool, remote) = match &backend {
+            ExecutionBackend::Pool { .. } => {
+                let operators = (0..n)
+                    .map(|_| MswjOperator::with_probe(query.clone(), strategy, enumerate))
+                    .collect();
+                (Vec::new(), Some(ShardPool::new(operators)), None)
+            }
+            ExecutionBackend::Remote { endpoints } => {
+                if endpoints.is_empty() {
+                    return Err(Error::InvalidConfig(
+                        "the remote backend needs at least one endpoint".into(),
+                    ));
+                }
+                let descriptor = query.condition().descriptor().ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "join condition `{}` cannot cross a process boundary \
+                         (closure predicates have no wire form); use a declarative \
+                         condition or a local backend",
+                        query.condition().describe()
+                    ))
+                })?;
+                // Unpartitionable plans collapse to one shard; connect only
+                // to the endpoints that will actually carry work.
+                let links = RemoteShards::connect(
+                    &endpoints[..n.min(endpoints.len())],
+                    &query,
+                    &descriptor,
+                    strategy,
+                    enumerate,
+                )?;
+                (Vec::new(), None, Some(links))
+            }
+            _ => {
+                let operators = (0..n)
+                    .map(|_| MswjOperator::with_probe(query.clone(), strategy, enumerate))
+                    .collect();
+                (operators, None, None)
+            }
         };
         let detector = skew
             .filter(|_| partitioner.supports_splitting())
             .map(SkewDetector::new);
         let m = query.arity();
-        JoinEngine {
+        Ok(JoinEngine {
             shards,
             pool,
+            remote,
             partitioner,
             backend,
             plan,
@@ -479,17 +594,20 @@ impl JoinEngine {
             spare_mask: Vec::new(),
             spare_items: (0..n).map(|_| VecDeque::new()).collect(),
             query,
-        }
+        })
     }
 
     /// The backend this engine executes with.
-    pub fn backend(&self) -> ExecutionBackend {
-        self.backend
+    pub fn backend(&self) -> &ExecutionBackend {
+        &self.backend
     }
 
     /// Number of shards actually instantiated (1 for unpartitionable
     /// plans, the backend's request otherwise).
     pub fn shard_count(&self) -> usize {
+        if self.remote.is_some() {
+            return self.runtime.len();
+        }
         match &self.pool {
             Some(pool) => pool.shard_count(),
             None => self.shards.len(),
@@ -502,6 +620,11 @@ impl JoinEngine {
     /// [`JoinEngine::sync`] first when you also need their *events*
     /// delivered.
     pub fn shard(&self, s: usize) -> ShardGuard<'_> {
+        assert!(
+            self.remote.is_none(),
+            "shard operators live in another process on the remote backend; \
+             use shard_stats() for their counters"
+        );
         match &self.pool {
             Some(pool) => ShardGuard(GuardInner::Locked(pool.lock_shard(s))),
             None => ShardGuard(GuardInner::Direct(&self.shards[s])),
@@ -515,15 +638,23 @@ impl JoinEngine {
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         (0..self.shard_count())
             .map(|s| ShardStats {
-                operator: self.shard(s).stats(),
-                runtime: self.runtime[s],
+                operator: match &self.remote {
+                    Some(remote) => remote.barrier_stats(s),
+                    None => self.shard(s).stats(),
+                },
+                runtime: self.runtime_stats(s),
             })
             .collect()
     }
 
-    /// The executor runtime counters of shard `s`.
+    /// The executor runtime counters of shard `s`, including the transport
+    /// counters on the `Remote` backend.
     pub fn runtime_stats(&self, s: usize) -> ShardRuntimeStats {
-        self.runtime[s]
+        let mut rt = self.runtime[s];
+        if let Some(remote) = &self.remote {
+            remote.fold_runtime(s, &mut rt);
+        }
+        rt
     }
 
     /// Aggregate counters, kept **sequential-equivalent**: ordering, drop
@@ -684,6 +815,16 @@ impl JoinEngine {
         if self.decisions.is_empty() {
             return;
         }
+        if self.remote.is_some() {
+            // Remote shards have no inline fallback — the operators live
+            // behind the transport, whatever the batch size — so every batch
+            // takes the epoch pipeline.
+            self.submit_epoch();
+            if barrier {
+                self.collect_outstanding(f);
+            }
+            return;
+        }
         let items: usize = self.queues.iter().map(VecDeque::len).sum();
         let small = items < Self::SMALL_BATCH_THRESHOLD;
         if self.pool.is_some() {
@@ -748,23 +889,30 @@ impl JoinEngine {
         let mut mask = std::mem::take(&mut self.spare_mask);
         mask.clear();
         mask.resize(self.queues.len(), false);
+        let routing_epoch = self.table.epoch();
         for (s, queue) in self.queues.iter_mut().enumerate() {
             if queue.is_empty() {
                 continue;
             }
             mask[s] = true;
             self.runtime[s].epochs_enqueued += 1;
+            if let Some(remote) = &mut self.remote {
+                // The queue is drained in place (capacity retained); the
+                // items are consumed by encoding, nothing travels back.
+                remote.submit(s, epoch.0, routing_epoch, queue);
+                continue;
+            }
             let items = std::mem::replace(queue, std::mem::take(&mut self.spare_items[s]));
             let task = Task {
                 epoch,
                 items,
                 sub: std::mem::take(&mut self.sub[s]),
                 mat: std::mem::take(&mut self.mat[s]),
-                routing_epoch: self.table.epoch(),
+                routing_epoch,
             };
             self.pool
                 .as_mut()
-                .expect("submit_epoch requires the pool backend")
+                .expect("submit_epoch requires a worker-backed backend")
                 .submit(s, task);
         }
         let decisions = std::mem::replace(
@@ -786,23 +934,33 @@ impl JoinEngine {
         let Some(mut pend) = self.outstanding.take() else {
             return;
         };
-        let pool = self
-            .pool
-            .as_mut()
-            .expect("an outstanding epoch implies the pool backend");
         for s in 0..pend.mask.len() {
             if !pend.mask[s] {
                 continue;
             }
-            let out = pool.collect(s, pend.epoch);
-            debug_assert_eq!(
-                out.routing_epoch, pend.routing_epoch,
-                "routing changed while an epoch was in flight"
-            );
             debug_assert_eq!(
                 pend.routing_epoch,
                 self.table.epoch(),
                 "routing transitions must wait for the outstanding epoch"
+            );
+            if let Some(remote) = &mut self.remote {
+                let info = remote.collect(s, pend.epoch.0, &mut self.sub[s], &mut self.mat[s]);
+                debug_assert_eq!(
+                    info.routing_epoch, pend.routing_epoch,
+                    "routing changed while an epoch was in flight"
+                );
+                self.runtime[s].busy_nanos += info.busy_nanos;
+                self.runtime[s].epochs_executed += 1;
+                continue;
+            }
+            let out = self
+                .pool
+                .as_mut()
+                .expect("an outstanding epoch implies a worker-backed backend")
+                .collect(s, pend.epoch);
+            debug_assert_eq!(
+                out.routing_epoch, pend.routing_epoch,
+                "routing changed while an epoch was in flight"
             );
             self.runtime[s].busy_nanos += out.busy_nanos;
             self.runtime[s].epochs_executed += 1;
@@ -1074,17 +1232,24 @@ impl JoinEngine {
                 debug_assert!(false, "split routing requires key-routed streams");
                 continue;
             };
-            let class: Vec<Tuple> = self
-                .shard(home)
-                .window(StreamIndex(i))
-                .iter()
-                .filter(|t| join_key_hash(t.value(col)) == hash)
-                .cloned()
-                .collect();
+            let class: Vec<Tuple> = match &mut self.remote {
+                Some(remote) => remote.fetch_class(home, i as u64, col as u64, hash),
+                None => self
+                    .shard(home)
+                    .window(StreamIndex(i))
+                    .iter()
+                    .filter(|t| join_key_hash(t.value(col)) == hash)
+                    .cloned()
+                    .collect(),
+            };
             if class.is_empty() {
                 continue;
             }
             for s in (0..n).filter(|&s| s != home) {
+                if let Some(remote) = &mut self.remote {
+                    remote.adopt(s, &class);
+                    continue;
+                }
                 self.with_shard_mut(s, |op| {
                     for t in &class {
                         op.adopt(t.clone());
@@ -1107,6 +1272,10 @@ impl JoinEngine {
                 let Some(col) = self.partitioner.column(i) else {
                     continue;
                 };
+                if let Some(remote) = &mut self.remote {
+                    remote.purge_class(s, i as u64, col as u64, hash);
+                    continue;
+                }
                 self.with_shard_mut(s, |op| {
                     op.evict_where(StreamIndex(i), |t| join_key_hash(t.value(col)) != hash)
                 });
@@ -1214,12 +1383,16 @@ mod tests {
             ExecutionBackend::Threads(4),
             ExecutionBackend::Pool { workers: 1 },
             ExecutionBackend::Pool { workers: 4 },
+            // Every epoch round-trips through the wire codec (in-process
+            // shard servers), proving serialization on the same workload.
+            ExecutionBackend::remote_inproc(1),
+            ExecutionBackend::remote_inproc(4),
         ];
         for backend in backends {
             // Chunk of 48 exceeds the inline threshold (pipelined epochs on
             // Pool); chunk of 7 stays below it (inline fallback).
             for chunk in [48usize, 7] {
-                let (res, out, stats) = run_chunked(backend, true, &tuples, chunk);
+                let (res, out, stats) = run_chunked(backend.clone(), true, &tuples, chunk);
                 let label = format!("{backend} chunk {chunk}");
                 assert_eq!(seq_res, res, "result multiset diverged [{label}]");
                 assert_eq!(seq_out.len(), out.len(), "[{label}]");
@@ -1361,11 +1534,85 @@ mod tests {
                 equi_query(2, 1_000),
                 ProbeStrategy::NestedLoop,
                 false,
-                backend,
+                backend.clone(),
             );
             assert_eq!(engine.shard_count(), 1, "{backend}");
             assert!(!engine.partitioner().is_partitioned(), "{backend}");
         }
+    }
+
+    #[test]
+    fn remote_backend_rejects_an_empty_endpoint_list() {
+        let err = JoinEngine::try_new(
+            equi_query(2, 1_000),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::Remote {
+                endpoints: Vec::new(),
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("at least one endpoint"), "{err}");
+    }
+
+    #[test]
+    fn remote_backend_rejects_closure_conditions() {
+        let streams =
+            StreamSet::homogeneous(2, Schema::new(vec![("a1", FieldType::Int)]), 1_000).unwrap();
+        let cond = Arc::new(mswj_join::PredicateFn::new(2, "opaque", |_| true));
+        let query = JoinQuery::new("closure", streams, cond).unwrap();
+        let err = JoinEngine::try_new(
+            query,
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::remote_inproc(2),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("cannot cross a process boundary"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn remote_runtime_stats_carry_transport_counters() {
+        let mut engine = JoinEngine::new(
+            equi_query(2, 1_000),
+            ProbeStrategy::Auto,
+            false,
+            ExecutionBackend::remote_inproc(2),
+        );
+        assert_eq!(engine.shard_count(), 2);
+        let tuples: Vec<Tuple> = (0..100u64)
+            .map(|s| tup((s % 2) as usize, s, s * 10, (s % 8) as i64))
+            .collect();
+        let mut done = 0usize;
+        engine.push_batch(tuples, &mut |ev| {
+            if matches!(ev, EngineEvent::Done(_)) {
+                done += 1;
+            }
+        });
+        engine.sync(&mut |ev| {
+            if matches!(ev, EngineEvent::Done(_)) {
+                done += 1;
+            }
+        });
+        assert_eq!(done, 100);
+        for s in 0..engine.shard_count() {
+            let rt = engine.runtime_stats(s);
+            assert!(rt.frames_sent >= 3, "hello + setup + tasks: {rt:?}");
+            assert_eq!(
+                rt.frames_sent, rt.frames_received,
+                "strict request/reply protocol: {rt:?}"
+            );
+            assert!(rt.bytes_sent > 0 && rt.bytes_received > 0, "{rt:?}");
+            assert!(rt.epoch_rtt_nanos > 0, "epochs round-tripped: {rt:?}");
+            assert_eq!(rt.epochs_enqueued, rt.epochs_executed, "{rt:?}");
+        }
+        // shard_stats() fetches operator counters over a barrier round-trip.
+        let stats = engine.shard_stats();
+        let results: u64 = stats.iter().map(|s| s.operator.results).sum();
+        assert_eq!(results, engine.stats().results);
     }
 
     #[test]
@@ -1382,7 +1629,7 @@ mod tests {
         assert_eq!(events, 0);
         assert!(!engine.has_pending());
         assert!(!engine.has_outstanding());
-        assert_eq!(engine.backend(), ExecutionBackend::Sequential);
+        assert_eq!(engine.backend(), &ExecutionBackend::Sequential);
         assert!(!engine.is_enumerating());
         assert_eq!(engine.on_t(), Timestamp::ZERO);
     }
@@ -1436,7 +1683,7 @@ mod tests {
                 equi_query(2, 1_000),
                 ProbeStrategy::Auto,
                 true,
-                backend,
+                backend.clone(),
                 Some(test_skew()),
             );
             assert!(engine.skew_splitting_enabled(), "{backend}");

@@ -1,0 +1,240 @@
+//! The in-process transport: a shard server on a local thread, reached
+//! through in-memory duplex byte pipes.
+//!
+//! Every frame still travels through the full wire codec — encode, length
+//! prefix, header validation, decode — so running the existing test matrix
+//! over [`InProc`] proves the serialization layer on realistic workloads
+//! without opening a socket.  The pipe is a pair of condvar-guarded byte
+//! rings; dropping either end closes both directions, which the peer
+//! observes as EOF (reads) and `BrokenPipe` (writes), exactly like a
+//! hung-up socket.
+
+use super::{server, Framed, Transport, TransportCounters, DEFAULT_READ_TIMEOUT};
+use mswj_wire::{Frame, WireError};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+#[derive(Default)]
+struct RingState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One direction of the pipe: a byte ring plus the condvar readers park on.
+#[derive(Default)]
+struct Ring {
+    state: Mutex<RingState>,
+    readable: Condvar,
+}
+
+impl Ring {
+    fn lock(&self) -> MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-memory duplex byte pipe (see [`duplex`]).  Implements
+/// blocking `Read`/`Write` with an optional read timeout, mirroring socket
+/// semantics: EOF (`Ok(0)`) once the peer is gone and the ring is drained,
+/// `BrokenPipe` on writes to a hung-up peer, `TimedOut` when a read waits
+/// past the configured deadline.
+pub struct PipeEnd {
+    read: Arc<Ring>,
+    write: Arc<Ring>,
+    read_timeout: Option<Duration>,
+}
+
+impl PipeEnd {
+    /// Sets the read timeout; `None` blocks indefinitely.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    /// Closes both directions, as dropping this end would.
+    pub fn close(&self) {
+        self.read.close();
+        self.write.close();
+    }
+}
+
+/// Creates a connected pair of in-memory byte pipes; bytes written to one
+/// end are read from the other.
+pub fn duplex() -> (PipeEnd, PipeEnd) {
+    let a = Arc::new(Ring::default());
+    let b = Arc::new(Ring::default());
+    (
+        PipeEnd {
+            read: Arc::clone(&a),
+            write: Arc::clone(&b),
+            read_timeout: None,
+        },
+        PipeEnd {
+            read: b,
+            write: a,
+            read_timeout: None,
+        },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.read.lock();
+        loop {
+            if !st.buf.is_empty() {
+                let n = out.len().min(st.buf.len());
+                for slot in out[..n].iter_mut() {
+                    *slot = st.buf.pop_front().expect("n is bounded by the ring length");
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0);
+            }
+            st = match self.read_timeout {
+                None => self
+                    .read
+                    .readable
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner()),
+                Some(t) => {
+                    let (guard, timeout) = self
+                        .read
+                        .readable
+                        .wait_timeout(st, t)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if timeout.timed_out() && guard.buf.is_empty() && !guard.closed {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "in-process pipe read timed out",
+                        ));
+                    }
+                    guard
+                }
+            };
+        }
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.write.lock();
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed the in-process pipe",
+            ));
+        }
+        st.buf.extend(data);
+        self.write.readable.notify_all();
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A [`Transport`] whose shard server runs on a thread of this process,
+/// connected through [`duplex`] pipes.
+pub struct InProc {
+    framed: Framed<PipeEnd>,
+    server: Option<JoinHandle<()>>,
+}
+
+impl InProc {
+    /// Spawns a shard-server thread and connects to it.
+    pub fn spawn() -> Self {
+        let (mut client, server_end) = duplex();
+        client.set_read_timeout(Some(DEFAULT_READ_TIMEOUT));
+        let handle = std::thread::Builder::new()
+            .name("mswj-inproc-shard".into())
+            .spawn(move || {
+                let _ = server::serve_stream(server_end);
+            })
+            .expect("spawning the in-process shard server");
+        InProc {
+            framed: Framed::new(client),
+            server: Some(handle),
+        }
+    }
+}
+
+impl Transport for InProc {
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        self.framed.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Frame, WireError> {
+        self.framed.recv()
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.framed.stream_mut().set_read_timeout(timeout);
+        Ok(())
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.framed.counters()
+    }
+
+    fn describe(&self) -> String {
+        "inproc".into()
+    }
+}
+
+impl Drop for InProc {
+    fn drop(&mut self) {
+        // Closing the pipes unblocks the server (EOF), so the join below
+        // cannot hang; a panicking server thread is swallowed — the engine
+        // already surfaced its failure as an error frame, if any.
+        self.framed.stream_mut().close();
+        if let Some(handle) = self.server.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_moves_bytes_and_signals_eof() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        drop(a);
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "EOF after peer drop");
+        assert_eq!(b.write(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn pipe_read_times_out() {
+        let (_a, mut b) = duplex();
+        b.set_read_timeout(Some(Duration::from_millis(20)));
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            b.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+    }
+}

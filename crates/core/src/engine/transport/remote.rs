@@ -1,0 +1,354 @@
+//! The engine-facing side of the transport: one link per shard, speaking
+//! the request/reply protocol that `server` answers.
+//!
+//! `RemoteShards` plugs into the same depth-1 epoch pipeline as the
+//! resident pool — `submit` ships a routed queue as a task frame, `collect`
+//! blocks for the matching output frame — so the engine's staging-order
+//! merge replays results identically whether shards are local or remote.
+//! Mid-stream failures are raised as panics carrying
+//! [`EngineError`](super::EngineError), mirroring the pool's
+//! `resume_unwind` surface.
+
+use super::{Endpoint, EngineError, Transport, SHUTDOWN_TIMEOUT};
+use crate::engine::{Item, ShardRuntimeStats, SubOutcome};
+use mswj_join::{JoinQuery, JoinResult, OperatorStats, ProbeStrategy};
+use mswj_types::{Error, Tuple};
+use mswj_wire::{Frame, WireError, WireItem, WireQuery, WireStream, WireTask};
+use std::collections::VecDeque;
+use std::panic::panic_any;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What `collect` hands back to the engine alongside the filled `sub` /
+/// `mat` buffers.
+pub(in crate::engine) struct CollectedEpoch {
+    /// Nanoseconds the remote operator spent draining the task.
+    pub(in crate::engine) busy_nanos: u64,
+    /// Routing-table epoch the peer echoed back (pipeline sanity check).
+    pub(in crate::engine) routing_epoch: u64,
+}
+
+struct Link {
+    transport: Box<dyn Transport>,
+    endpoint: String,
+    /// Cumulative submit→collect wall time, the epoch round-trip counter.
+    rtt_nanos: u64,
+    submitted_at: Option<Instant>,
+    barrier_token: u64,
+}
+
+impl Link {
+    /// Raises a transport failure as the matching typed panic.
+    fn raise(&self, shard: usize, err: WireError) -> ! {
+        match err {
+            WireError::VersionMismatch { ours, theirs } => {
+                panic_any(EngineError::VersionMismatch { ours, theirs })
+            }
+            e if e.is_disconnect() || e.is_timeout() => panic_any(EngineError::ShardLost {
+                shard,
+                detail: format!("{}: {e}", self.endpoint),
+            }),
+            e => panic_any(EngineError::Protocol {
+                shard,
+                detail: format!("{}: {e}", self.endpoint),
+            }),
+        }
+    }
+
+    fn send(&mut self, shard: usize, frame: &Frame) {
+        if let Err(e) = self.transport.send(frame) {
+            self.raise(shard, e);
+        }
+    }
+
+    /// Receives a reply; an error frame (remote panic or protocol
+    /// complaint) is re-raised on this thread like a pool-worker panic.
+    fn reply(&mut self, shard: usize) -> Frame {
+        match self.transport.recv() {
+            Ok(Frame::Error { message }) => panic_any(EngineError::RemotePanic { shard, message }),
+            Ok(frame) => frame,
+            Err(e) => self.raise(shard, e),
+        }
+    }
+
+    /// Raises a protocol violation for a reply of the wrong type.
+    fn unexpected(&self, shard: usize, want: &str, got: &Frame) -> ! {
+        panic_any(EngineError::Protocol {
+            shard,
+            detail: format!(
+                "{}: expected {want}, got frame type {:#04x}",
+                self.endpoint,
+                got.frame_type()
+            ),
+        })
+    }
+}
+
+/// The set of transport links backing `ExecutionBackend::Remote` — the
+/// engine's counterpart to the resident `ShardPool`.
+///
+/// Links live behind per-shard mutexes so read-only engine surfaces
+/// (barrier stats, runtime folding) can reach them through `&self` the way
+/// `ShardPool::lock_shard` does.
+pub(in crate::engine) struct RemoteShards {
+    links: Vec<Mutex<Link>>,
+}
+
+impl RemoteShards {
+    /// Connects to every endpoint and runs the hello/setup handshake,
+    /// leaving each peer with an instantiated shard operator.
+    pub(in crate::engine) fn connect(
+        endpoints: &[Endpoint],
+        query: &JoinQuery,
+        descriptor: &mswj_join::ConditionDescriptor,
+        strategy: ProbeStrategy,
+        enumerate: bool,
+    ) -> Result<Self, Error> {
+        let wire_query = WireQuery {
+            name: query.name().to_string(),
+            streams: query
+                .streams()
+                .iter()
+                .map(|(_, spec)| WireStream {
+                    name: spec.name.clone(),
+                    fields: spec
+                        .schema
+                        .iter()
+                        .map(|(n, t)| (n.to_string(), t))
+                        .collect(),
+                    window: spec.window,
+                })
+                .collect(),
+            condition: descriptor.clone(),
+            strategy,
+            enumerate,
+        };
+        let mut links = Vec::with_capacity(endpoints.len());
+        for (shard, endpoint) in endpoints.iter().enumerate() {
+            let link = handshake(endpoint, &wire_query).map_err(|msg| {
+                Error::InvalidConfig(format!("remote shard {shard} ({endpoint}): {msg}"))
+            })?;
+            links.push(Mutex::new(link));
+        }
+        Ok(RemoteShards { links })
+    }
+
+    fn link(&self, shard: usize) -> std::sync::MutexGuard<'_, Link> {
+        self.links[shard].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn link_mut(&mut self, shard: usize) -> &mut Link {
+        self.links[shard]
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Ships a routed item queue to `shard` as one task frame, draining the
+    /// queue (its capacity is preserved for recycling).
+    pub(in crate::engine) fn submit(
+        &mut self,
+        shard: usize,
+        epoch: u64,
+        routing_epoch: u64,
+        queue: &mut VecDeque<Item>,
+    ) {
+        let items: Vec<WireItem> = queue
+            .drain(..)
+            .map(|item| WireItem {
+                seq: item.seq,
+                probe: item.probe,
+                tuple: item.tuple,
+            })
+            .collect();
+        let link = self.link_mut(shard);
+        link.submitted_at = Some(Instant::now());
+        link.send(
+            shard,
+            &Frame::Task(WireTask {
+                epoch,
+                routing_epoch,
+                items,
+            }),
+        );
+    }
+
+    /// Blocks for the output of the epoch previously submitted to `shard`,
+    /// appending its sub-outcomes and materialized results to `sub` / `mat`.
+    pub(in crate::engine) fn collect(
+        &mut self,
+        shard: usize,
+        expected_epoch: u64,
+        sub: &mut Vec<SubOutcome>,
+        mat: &mut Vec<(u32, JoinResult)>,
+    ) -> CollectedEpoch {
+        let link = self.link_mut(shard);
+        let out = match link.reply(shard) {
+            Frame::Output(out) => out,
+            other => link.unexpected(shard, "output", &other),
+        };
+        if let Some(at) = link.submitted_at.take() {
+            link.rtt_nanos += at.elapsed().as_nanos() as u64;
+        }
+        debug_assert_eq!(out.epoch, expected_epoch, "epochs collect in submit order");
+        sub.extend(out.sub.into_iter().map(|w| SubOutcome {
+            seq: w.seq,
+            n_join: w.n_join,
+            indexed: w.indexed,
+        }));
+        mat.extend(out.mat);
+        CollectedEpoch {
+            busy_nanos: out.busy_nanos,
+            routing_epoch: out.routing_epoch,
+        }
+    }
+
+    /// Runs a barrier round-trip against `shard` and returns its operator
+    /// counters.  Only valid between epochs (nothing outstanding).
+    pub(in crate::engine) fn barrier_stats(&self, shard: usize) -> OperatorStats {
+        let mut link = self.link(shard);
+        link.barrier_token += 1;
+        let token = link.barrier_token;
+        link.send(shard, &Frame::Barrier { token });
+        match link.reply(shard) {
+            Frame::BarrierAck {
+                token: acked,
+                stats,
+            } => {
+                if acked != token {
+                    panic_any(EngineError::Protocol {
+                        shard,
+                        detail: format!("barrier token mismatch: sent {token}, acked {acked}"),
+                    });
+                }
+                stats
+            }
+            other => link.unexpected(shard, "barrier-ack", &other),
+        }
+    }
+
+    /// Fetches one key class from a stream window of `shard` (the remote
+    /// equivalent of scanning the home shard's window during a hot-key
+    /// split).
+    pub(in crate::engine) fn fetch_class(
+        &mut self,
+        shard: usize,
+        stream: u64,
+        column: u64,
+        key_hash: u64,
+    ) -> Vec<Tuple> {
+        let link = self.link_mut(shard);
+        link.send(
+            shard,
+            &Frame::FetchClass {
+                stream,
+                column,
+                key_hash,
+            },
+        );
+        match link.reply(shard) {
+            Frame::ClassData { tuples } => tuples,
+            other => link.unexpected(shard, "class-data", &other),
+        }
+    }
+
+    /// Replicates build-side tuples into `shard`'s windows.
+    pub(in crate::engine) fn adopt(&mut self, shard: usize, tuples: &[Tuple]) {
+        let link = self.link_mut(shard);
+        link.send(
+            shard,
+            &Frame::Adopt {
+                tuples: tuples.to_vec(),
+            },
+        );
+        match link.reply(shard) {
+            Frame::Ack => {}
+            other => link.unexpected(shard, "ack", &other),
+        }
+    }
+
+    /// Evicts a previously replicated key class from `shard`'s window.
+    pub(in crate::engine) fn purge_class(
+        &mut self,
+        shard: usize,
+        stream: u64,
+        column: u64,
+        key_hash: u64,
+    ) {
+        let link = self.link_mut(shard);
+        link.send(
+            shard,
+            &Frame::PurgeClass {
+                stream,
+                column,
+                key_hash,
+            },
+        );
+        match link.reply(shard) {
+            Frame::Ack => {}
+            other => link.unexpected(shard, "ack", &other),
+        }
+    }
+
+    /// Folds the link's transport counters into a shard's runtime stats.
+    pub(in crate::engine) fn fold_runtime(&self, shard: usize, rt: &mut ShardRuntimeStats) {
+        let link = self.link(shard);
+        let c = link.transport.counters();
+        rt.frames_sent = c.frames_sent;
+        rt.frames_received = c.frames_received;
+        rt.bytes_sent = c.bytes_sent;
+        rt.bytes_received = c.bytes_received;
+        rt.reconnects = c.reconnects;
+        rt.epoch_rtt_nanos = link.rtt_nanos;
+    }
+}
+
+/// Connects one endpoint and runs hello + setup, mapping every failure to
+/// a human-readable message (connection time is the one phase where remote
+/// failures are `Result`s, not panics).
+fn handshake(endpoint: &Endpoint, query: &WireQuery) -> Result<Link, String> {
+    let mut transport = super::connect(endpoint).map_err(|e| e.to_string())?;
+    let mut exchange = |send: Frame, want: &str, want_type: u8| -> Result<(), String> {
+        transport.send(&send).map_err(|e| e.to_string())?;
+        match transport.recv().map_err(|e| e.to_string())? {
+            Frame::Error { message } => Err(message),
+            frame if frame.frame_type() == want_type => Ok(()),
+            other => Err(format!(
+                "expected {want}, got frame type {:#04x}",
+                other.frame_type()
+            )),
+        }
+    };
+    exchange(Frame::Hello, "hello-ack", Frame::HelloAck.frame_type())?;
+    exchange(
+        Frame::Setup(query.clone()),
+        "setup-ack",
+        Frame::SetupAck.frame_type(),
+    )?;
+    Ok(Link {
+        transport,
+        endpoint: endpoint.to_string(),
+        rtt_nanos: 0,
+        submitted_at: None,
+        barrier_token: 0,
+    })
+}
+
+impl Drop for RemoteShards {
+    fn drop(&mut self) {
+        // Best-effort shutdown handshake; every failure is swallowed — the
+        // peer may already be gone, and panicking in drop would abort.
+        for cell in &mut self.links {
+            let link = cell.get_mut().unwrap_or_else(|e| e.into_inner());
+            let _ = link.transport.set_read_timeout(Some(SHUTDOWN_TIMEOUT));
+            if link.transport.send(&Frame::Shutdown).is_err() {
+                continue;
+            }
+            for _ in 0..4 {
+                match link.transport.recv() {
+                    Ok(Frame::ShutdownAck) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The shard-server side of the wire protocol: one shard operator per
+//! connection, driven entirely by frames.
+//!
+//! A connection's lifecycle is `Hello → Setup → (Task | Barrier | class
+//! frames)* → Shutdown`.  The server is passive — it never initiates — and
+//! every request gets exactly one reply, so the client can keep at most
+//! one epoch in flight per connection and collect deterministically.  An
+//! operator panic while draining a task is caught and shipped back as an
+//! error frame (the connection then closes: after a panic the shard state
+//! is unreliable, exactly like a retired pool worker).
+//!
+//! [`serve_stream`] serves one connection over any byte stream — the
+//! in-process transport drives it over memory pipes, the `mswj-shardd`
+//! binary and benches drive it over sockets via [`serve_uds`] /
+//! [`serve_tcp`], one thread per accepted connection.
+
+use super::Framed;
+use crate::engine::{exec, Item};
+use mswj_join::{join_key_hash, JoinQuery, MswjOperator};
+use mswj_types::{Schema, StreamIndex, StreamSet, StreamSpec, Tuple};
+use mswj_wire::{Frame, WireError, WireOutput, WireQuery, WireSub};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::time::Instant;
+
+/// Renders a caught panic payload the way `std::thread` would print it.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shard operator panicked (non-string payload)".to_string()
+    }
+}
+
+/// Instantiates the shard operator a [`Frame::Setup`] describes.
+fn build_operator(q: &WireQuery) -> Result<MswjOperator, String> {
+    let specs: Vec<StreamSpec> = q
+        .streams
+        .iter()
+        .map(|s| StreamSpec::new(s.name.clone(), Schema::new(s.fields.clone()), s.window))
+        .collect();
+    let streams = StreamSet::new(specs).map_err(|e| e.to_string())?;
+    let condition = q.condition.instantiate();
+    let query = JoinQuery::new(q.name.clone(), streams, condition).map_err(|e| e.to_string())?;
+    Ok(MswjOperator::with_probe(query, q.strategy, q.enumerate))
+}
+
+fn stream_and_column(stream: u64, column: u64) -> Result<(StreamIndex, usize), String> {
+    let s = usize::try_from(stream).map_err(|_| format!("stream index {stream} overflows"))?;
+    let c = usize::try_from(column).map_err(|_| format!("column index {column} overflows"))?;
+    Ok((StreamIndex(s), c))
+}
+
+/// Collects one key class out of a window, in window (timestamp) order.
+fn class_of(op: &MswjOperator, stream: StreamIndex, column: usize, key_hash: u64) -> Vec<Tuple> {
+    op.window(stream)
+        .iter()
+        .filter(|t| join_key_hash(t.value(column)) == key_hash)
+        .cloned()
+        .collect()
+}
+
+/// Serves one client connection until a shutdown handshake, EOF, or a
+/// terminal protocol error.  Returns `Ok(())` on every orderly close
+/// (including after reporting a client error or an operator panic as an
+/// error frame); `Err` only for transport-level failures mid-reply.
+pub fn serve_stream<S: Read + Write>(stream: S) -> Result<(), WireError> {
+    let mut framed = Framed::new(stream);
+    let mut op: Option<MswjOperator> = None;
+    // Recycled epoch buffers, mirroring the pool worker's steady state.
+    let mut items: VecDeque<Item> = VecDeque::new();
+    let mut sub = Vec::new();
+    let mut mat = Vec::new();
+    loop {
+        let frame = match framed.recv() {
+            Ok(frame) => frame,
+            Err(e) if e.is_disconnect() => return Ok(()),
+            Err(WireError::VersionMismatch { ours, theirs }) => {
+                // Our reply frame carries *our* version, which the foreign
+                // peer will reject in turn — but the message text gets
+                // through to same-version clients talking to a stale file
+                // and is invaluable in logs.
+                let _ = framed.send(&Frame::Error {
+                    message: format!(
+                        "protocol version mismatch: server speaks {ours}, client sent {theirs}"
+                    ),
+                });
+                return Err(WireError::VersionMismatch { ours, theirs });
+            }
+            Err(e) => {
+                let _ = framed.send(&Frame::Error {
+                    message: format!("undecodable frame: {e}"),
+                });
+                return Err(e);
+            }
+        };
+        match frame {
+            Frame::Hello => framed.send(&Frame::HelloAck)?,
+            Frame::Setup(q) => match build_operator(&q) {
+                Ok(built) => {
+                    op = Some(built);
+                    framed.send(&Frame::SetupAck)?;
+                }
+                Err(message) => {
+                    framed.send(&Frame::Error { message })?;
+                    return Ok(());
+                }
+            },
+            Frame::Task(task) => {
+                let Some(op) = op.as_mut() else {
+                    framed.send(&Frame::Error {
+                        message: "task before setup".into(),
+                    })?;
+                    return Ok(());
+                };
+                items.clear();
+                items.extend(task.items.into_iter().map(|w| Item {
+                    seq: w.seq,
+                    probe: w.probe,
+                    tuple: w.tuple,
+                }));
+                sub.clear();
+                mat.clear();
+                let started = Instant::now();
+                let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    exec::drain_queue(op, &mut items, &mut sub, &mut mat);
+                }))
+                .err();
+                let busy_nanos = started.elapsed().as_nanos() as u64;
+                match panicked {
+                    Some(payload) => {
+                        framed.send(&Frame::Error {
+                            message: panic_text(payload.as_ref()),
+                        })?;
+                        return Ok(());
+                    }
+                    None => framed.send(&Frame::Output(WireOutput {
+                        epoch: task.epoch,
+                        routing_epoch: task.routing_epoch,
+                        busy_nanos,
+                        sub: sub
+                            .iter()
+                            .map(|o| WireSub {
+                                seq: o.seq,
+                                n_join: o.n_join,
+                                indexed: o.indexed,
+                            })
+                            .collect(),
+                        mat: std::mem::take(&mut mat),
+                    }))?,
+                }
+            }
+            Frame::Barrier { token } => {
+                let stats = op.as_ref().map(MswjOperator::stats).unwrap_or_default();
+                framed.send(&Frame::BarrierAck { token, stats })?;
+            }
+            Frame::FetchClass {
+                stream,
+                column,
+                key_hash,
+            } => {
+                let reply = match (op.as_ref(), stream_and_column(stream, column)) {
+                    (Some(op), Ok((s, c))) => Frame::ClassData {
+                        tuples: class_of(op, s, c, key_hash),
+                    },
+                    (None, _) => Frame::Error {
+                        message: "fetch-class before setup".into(),
+                    },
+                    (_, Err(message)) => Frame::Error { message },
+                };
+                let terminal = matches!(reply, Frame::Error { .. });
+                framed.send(&reply)?;
+                if terminal {
+                    return Ok(());
+                }
+            }
+            Frame::Adopt { tuples } => {
+                let Some(op) = op.as_mut() else {
+                    framed.send(&Frame::Error {
+                        message: "adopt before setup".into(),
+                    })?;
+                    return Ok(());
+                };
+                for t in tuples {
+                    op.adopt(t);
+                }
+                framed.send(&Frame::Ack)?;
+            }
+            Frame::PurgeClass {
+                stream,
+                column,
+                key_hash,
+            } => {
+                let reply = match (op.as_mut(), stream_and_column(stream, column)) {
+                    (Some(op), Ok((s, c))) => {
+                        op.evict_where(s, |t| join_key_hash(t.value(c)) != key_hash);
+                        Frame::Ack
+                    }
+                    (None, _) => Frame::Error {
+                        message: "purge-class before setup".into(),
+                    },
+                    (_, Err(message)) => Frame::Error { message },
+                };
+                let terminal = matches!(reply, Frame::Error { .. });
+                framed.send(&reply)?;
+                if terminal {
+                    return Ok(());
+                }
+            }
+            Frame::Shutdown => {
+                framed.send(&Frame::ShutdownAck)?;
+                return Ok(());
+            }
+            other => {
+                framed.send(&Frame::Error {
+                    message: format!(
+                        "unexpected frame type {:#04x} on the server side",
+                        other.frame_type()
+                    ),
+                })?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn spawn_connection<S>(index: usize, stream: S)
+where
+    S: Read + Write + Send + 'static,
+{
+    let _ = std::thread::Builder::new()
+        .name(format!("mswj-shardd-conn-{index}"))
+        .spawn(move || {
+            if let Err(e) = serve_stream(stream) {
+                eprintln!("mswj-shardd: connection {index} failed: {e}");
+            }
+        });
+}
+
+/// Binds a Unix-domain socket (replacing any stale socket file) and serves
+/// every incoming connection on its own thread.  Never returns except on a
+/// bind/accept error — this is the `mswj-shardd --uds` main loop.
+pub fn serve_uds(path: &Path) -> Result<(), WireError> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    eprintln!("mswj-shardd: listening on uds {}", path.display());
+    for (index, conn) in listener.incoming().enumerate() {
+        spawn_connection(index, conn?);
+    }
+    Ok(())
+}
+
+/// Binds a TCP listener and serves every incoming connection on its own
+/// thread.  Never returns except on a bind/accept error — this is the
+/// `mswj-shardd --tcp` main loop.
+pub fn serve_tcp(addr: &str) -> Result<(), WireError> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    eprintln!(
+        "mswj-shardd: listening on tcp {}",
+        listener.local_addr().map_err(WireError::Io)?
+    );
+    for (index, conn) in listener.incoming().enumerate() {
+        spawn_connection(index, conn?);
+    }
+    Ok(())
+}

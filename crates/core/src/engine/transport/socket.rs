@@ -1,0 +1,119 @@
+//! Socket transports: Unix-domain and TCP links to an `mswj-shardd`
+//! shard-server process.
+//!
+//! Connection establishment retries until the deadline passes (covering
+//! the race against a server that is still binding its socket) and counts
+//! the extra attempts as reconnects.  Reads carry the configured timeout
+//! down to the OS socket, so a silent peer surfaces as `TimedOut` rather
+//! than blocking the engine forever; a killed peer surfaces immediately as
+//! EOF or `BrokenPipe`.
+
+use super::{Endpoint, Framed, Transport, TransportCounters, DEFAULT_READ_TIMEOUT};
+use mswj_wire::{Frame, WireError};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+enum SocketStream {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Uds(s) => s.read(buf),
+            SocketStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Uds(s) => s.write(buf),
+            SocketStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SocketStream::Uds(s) => s.flush(),
+            SocketStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A socket-backed [`Transport`] to one `mswj-shardd` shard server.
+pub struct Socket {
+    framed: Framed<SocketStream>,
+    endpoint: Endpoint,
+    reconnects: u64,
+}
+
+impl Socket {
+    /// Connects to a [`Endpoint::Uds`] or [`Endpoint::Tcp`] endpoint,
+    /// retrying until `timeout` expires; the read timeout starts at
+    /// [`DEFAULT_READ_TIMEOUT`].
+    pub fn connect(endpoint: &Endpoint, timeout: Duration) -> Result<Self, WireError> {
+        let deadline = Instant::now() + timeout;
+        let mut attempts = 0u64;
+        loop {
+            attempts += 1;
+            let stream = match endpoint {
+                Endpoint::Uds(path) => UnixStream::connect(path).map(SocketStream::Uds),
+                Endpoint::Tcp(addr) => TcpStream::connect(addr).map(SocketStream::Tcp),
+                Endpoint::InProc => {
+                    return Err(WireError::Io(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "in-process endpoints do not use sockets",
+                    )))
+                }
+            };
+            match stream {
+                Ok(stream) => {
+                    let mut socket = Socket {
+                        framed: Framed::new(stream),
+                        endpoint: endpoint.clone(),
+                        reconnects: attempts - 1,
+                    };
+                    socket.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+                    return Ok(socket);
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+}
+
+impl Transport for Socket {
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        self.framed.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Frame, WireError> {
+        self.framed.recv()
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        match self.framed.stream_mut() {
+            SocketStream::Uds(s) => s.set_read_timeout(timeout)?,
+            SocketStream::Tcp(s) => s.set_read_timeout(timeout)?,
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> TransportCounters {
+        let mut c = self.framed.counters();
+        c.reconnects = self.reconnects;
+        c
+    }
+
+    fn describe(&self) -> String {
+        self.endpoint.to_string()
+    }
+}

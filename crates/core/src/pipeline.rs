@@ -160,7 +160,7 @@ impl Pipeline {
             BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
-        let engine = JoinEngine::with_skew(query.clone(), probe, materialize, backend, skew);
+        let engine = JoinEngine::try_with_skew(query.clone(), probe, materialize, backend, skew)?;
         Ok(Pipeline {
             kslacks: (0..m).map(|_| KSlack::new(initial_k)).collect(),
             synchronizer: Synchronizer::new(m),

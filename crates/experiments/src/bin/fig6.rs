@@ -6,18 +6,28 @@
 //! readability) plus its summary statistics.
 
 use mswj_core::BufferPolicy;
-use mswj_experiments::{all_datasets, run_policy, Scale};
+use mswj_experiments::{
+    all_datasets, backend_from_args, ground_truth, run_policy_on_backend, Scale,
+};
 use mswj_metrics::{format_table, TableRow};
 
 fn main() {
     let scale = Scale::from_args();
+    let backend = backend_from_args();
     let period_p = 60_000;
     println!("Fig. 6 — recall over time of the No-K-slack baseline (P = 1 min)");
-    println!("scale: {:?}\n", scale);
+    println!("scale: {:?}, backend: {}\n", scale, backend);
 
     let mut summary = Vec::new();
     for dataset in all_datasets(scale) {
-        let eval = run_policy(&dataset, BufferPolicy::NoKSlack, period_p);
+        let truth = ground_truth(&dataset);
+        let eval = run_policy_on_backend(
+            &dataset,
+            BufferPolicy::NoKSlack,
+            period_p,
+            &truth,
+            backend.clone(),
+        );
         println!("── {} / {} ──", dataset.name, dataset.query.name());
         let stride = (eval.recall.samples.len() / 20).max(1);
         for sample in eval.recall.samples.iter().step_by(stride) {

@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use mswj_core::{BufferPolicy, DisorderConfig, RunReport};
+use mswj_core::{BufferPolicy, DisorderConfig, Endpoint, ExecutionBackend, RunReport};
 use mswj_datasets::{Dataset, SoccerConfig, SoccerDataset, SyntheticConfig, SyntheticDataset};
 use mswj_metrics::{evaluate_recall, ground_truth_counts, CountSeries, RecallEvaluation};
 use mswj_types::Duration;
@@ -76,6 +76,12 @@ impl Scale {
              \x20   --duration-secs N  simulated seconds per dataset (default {})\n\
              \x20   --seed N           workload generator seed (default {})\n\
              \x20   --quick            fast smoke-test scale ({} s)\n\
+             \x20   --backend SPEC     join-stage backend: seq (default),\n\
+             \x20                      threads:N, pool:N, inproc:N,\n\
+             \x20                      uds:PATH[,PATH…], tcp:ADDR[,ADDR…]\n\
+             \x20                      (uds/tcp need running mswj-shardd\n\
+             \x20                      servers; results are byte-identical\n\
+             \x20                      across backends)\n\
              \x20   -h, --help         print this help and exit",
             d.duration_secs,
             d.seed,
@@ -108,6 +114,62 @@ impl Scale {
         }
         scale
     }
+}
+
+/// Parses a `--backend` specification: `seq`, `threads:N`, `pool:N`,
+/// `inproc:N` (remote shards on in-process server threads), or
+/// `uds:`/`tcp:` followed by a comma-separated endpoint list (one shard
+/// per endpoint, served by `mswj-shardd`).
+pub fn parse_backend(spec: &str) -> Result<ExecutionBackend, String> {
+    let workers = |rest: &str| -> Result<usize, String> {
+        rest.parse()
+            .map_err(|_| format!("`{rest}` is not a worker count"))
+    };
+    if spec == "seq" {
+        return Ok(ExecutionBackend::Sequential);
+    }
+    if let Some(rest) = spec.strip_prefix("threads:") {
+        return Ok(ExecutionBackend::Threads(workers(rest)?));
+    }
+    if let Some(rest) = spec.strip_prefix("pool:") {
+        return Ok(ExecutionBackend::Pool {
+            workers: workers(rest)?,
+        });
+    }
+    if let Some(rest) = spec.strip_prefix("inproc:") {
+        return Ok(ExecutionBackend::remote_inproc(workers(rest)?));
+    }
+    if let Some(rest) = spec.strip_prefix("uds:") {
+        return Ok(ExecutionBackend::Remote {
+            endpoints: rest.split(',').map(|p| Endpoint::Uds(p.into())).collect(),
+        });
+    }
+    if let Some(rest) = spec.strip_prefix("tcp:") {
+        return Ok(ExecutionBackend::Remote {
+            endpoints: rest
+                .split(',')
+                .map(|a| Endpoint::Tcp(a.to_string()))
+                .collect(),
+        });
+    }
+    Err(format!(
+        "unknown backend `{spec}` (expected seq, threads:N, pool:N, inproc:N, uds:…, tcp:…)"
+    ))
+}
+
+/// Reads `--backend SPEC` from the process arguments (default:
+/// sequential, the paper's configuration); a malformed spec prints the
+/// error plus usage and exits.
+pub fn backend_from_args() -> ExecutionBackend {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--backend") else {
+        return ExecutionBackend::Sequential;
+    };
+    let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+    parse_backend(spec).unwrap_or_else(|e| {
+        eprintln!("{e}\n\n{}", Scale::usage());
+        std::process::exit(2);
+    })
 }
 
 /// Builds the (simulated) soccer dataset D×2real at the given scale.
@@ -170,9 +232,30 @@ pub fn run_policy_with_truth(
     period_p: Duration,
     truth: &CountSeries,
 ) -> PolicyEval {
+    run_policy_on_backend(
+        dataset,
+        policy,
+        period_p,
+        truth,
+        ExecutionBackend::Sequential,
+    )
+}
+
+/// Like [`run_policy_with_truth`], on an explicit execution backend
+/// (`--backend` / [`backend_from_args`]).  Every backend produces the
+/// same measurements; remote ones stream the join stage through
+/// `mswj-shardd` shard servers.
+pub fn run_policy_on_backend(
+    dataset: &Dataset,
+    policy: BufferPolicy,
+    period_p: Duration,
+    truth: &CountSeries,
+    backend: ExecutionBackend,
+) -> PolicyEval {
     let mut pipeline = mswj_core::Pipeline::builder()
         .query(dataset.query.clone())
         .policy(policy)
+        .parallelism(backend)
         .build()
         .expect("experiment configurations are valid");
     for event in dataset.log.iter() {
@@ -208,8 +291,75 @@ mod tests {
     #[test]
     fn usage_mentions_every_flag() {
         let usage = Scale::usage();
-        for flag in ["--duration-secs", "--seed", "--quick", "--help"] {
+        for flag in [
+            "--duration-secs",
+            "--seed",
+            "--quick",
+            "--backend",
+            "--help",
+        ] {
             assert!(usage.contains(flag), "usage text misses {flag}");
+        }
+    }
+
+    #[test]
+    fn backend_specs_parse() {
+        assert_eq!(parse_backend("seq").unwrap(), ExecutionBackend::Sequential);
+        assert_eq!(
+            parse_backend("threads:4").unwrap(),
+            ExecutionBackend::Threads(4)
+        );
+        assert_eq!(
+            parse_backend("pool:2").unwrap(),
+            ExecutionBackend::Pool { workers: 2 }
+        );
+        assert_eq!(
+            parse_backend("inproc:3").unwrap(),
+            ExecutionBackend::remote_inproc(3)
+        );
+        assert_eq!(
+            parse_backend("uds:/tmp/a.sock,/tmp/b.sock").unwrap(),
+            ExecutionBackend::Remote {
+                endpoints: vec![
+                    Endpoint::Uds("/tmp/a.sock".into()),
+                    Endpoint::Uds("/tmp/b.sock".into()),
+                ],
+            }
+        );
+        assert_eq!(
+            parse_backend("tcp:127.0.0.1:7400").unwrap(),
+            ExecutionBackend::Remote {
+                endpoints: vec![Endpoint::Tcp("127.0.0.1:7400".to_string())],
+            }
+        );
+        assert!(parse_backend("pool:x").is_err());
+        assert!(parse_backend("quantum").is_err());
+    }
+
+    #[test]
+    fn run_policy_backends_agree_on_an_experiment_workload() {
+        // The experiment harness itself must be backend-invariant: the
+        // same dataset + policy on sequential, pooled and remote-inproc
+        // backends produces identical reports and recall series.
+        let scale = Scale {
+            duration_secs: 15,
+            seed: 9,
+        };
+        let d2 = dataset_d2(scale);
+        let truth = ground_truth(&d2);
+        let period = 10_000;
+        let policy = || BufferPolicy::FixedK(200);
+        let seq = run_policy_with_truth(&d2, policy(), period, &truth);
+        for backend in [
+            ExecutionBackend::Pool { workers: 2 },
+            ExecutionBackend::remote_inproc(2),
+        ] {
+            let eval = run_policy_on_backend(&d2, policy(), period, &truth, backend.clone());
+            assert_eq!(
+                eval.report.total_produced, seq.report.total_produced,
+                "{backend} diverged from sequential"
+            );
+            assert_eq!(eval.recall.overall_recall, seq.recall.overall_recall);
         }
     }
 

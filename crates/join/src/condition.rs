@@ -37,6 +37,86 @@ pub enum EquiStructure {
     },
 }
 
+/// A serializable, data-only description of a join condition.
+///
+/// This is what crosses a process boundary: every built-in condition can
+/// describe itself as resolved column positions plus scalar parameters, and
+/// [`ConditionDescriptor::instantiate`] rebuilds an equivalent condition on
+/// the other side.  Closure-backed conditions ([`PredicateFn`]) have no
+/// descriptor and therefore cannot run on remote shards.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionDescriptor {
+    /// [`CrossJoin`] over `arity` streams.
+    Cross {
+        /// Number of input streams.
+        arity: usize,
+    },
+    /// [`CommonKeyEquiJoin`] on one resolved key column per stream.
+    CommonKey {
+        /// Key column position per stream.
+        columns: Vec<usize>,
+    },
+    /// [`StarEquiJoin`] anchored at `anchor`.
+    Star {
+        /// Index of the anchor stream.
+        anchor: usize,
+        /// Anchor-side column per non-anchor stream (ignored at the anchor).
+        anchor_cols: Vec<usize>,
+        /// Other-side column per non-anchor stream (ignored at the anchor).
+        other_cols: Vec<usize>,
+    },
+    /// [`BandJoin`] of width `band` on one column per stream.
+    Band {
+        /// Band column position per stream.
+        columns: Vec<usize>,
+        /// Band width.
+        band: f64,
+    },
+    /// [`DistanceWithin`] over two position streams.
+    DistanceWithin {
+        /// X-coordinate column in each stream.
+        x_cols: [usize; 2],
+        /// Y-coordinate column in each stream.
+        y_cols: [usize; 2],
+        /// Distance threshold.
+        threshold: f64,
+    },
+}
+
+impl ConditionDescriptor {
+    /// Rebuilds the concrete condition this descriptor came from.
+    ///
+    /// The reconstruction is exact: the rebuilt condition evaluates
+    /// [`JoinCondition::matches`] identically and exposes the same
+    /// [`EquiStructure`], so probe plans and shard routing derived from it
+    /// agree byte-for-byte with the originating process.
+    pub fn instantiate(&self) -> Arc<dyn JoinCondition> {
+        match self {
+            ConditionDescriptor::Cross { arity } => Arc::new(CrossJoin::new(*arity)),
+            ConditionDescriptor::CommonKey { columns } => {
+                Arc::new(CommonKeyEquiJoin::from_columns(columns.clone()))
+            }
+            ConditionDescriptor::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            } => Arc::new(StarEquiJoin::from_columns(
+                *anchor,
+                anchor_cols.clone(),
+                other_cols.clone(),
+            )),
+            ConditionDescriptor::Band { columns, band } => {
+                Arc::new(BandJoin::from_columns(columns.clone(), *band))
+            }
+            ConditionDescriptor::DistanceWithin {
+                x_cols,
+                y_cols,
+                threshold,
+            } => Arc::new(DistanceWithin::from_columns(*x_cols, *y_cols, *threshold)),
+        }
+    }
+}
+
 /// An m-ary join predicate over one tuple per input stream.
 ///
 /// Implementations must be cheap to clone behind an `Arc` and side-effect
@@ -69,6 +149,21 @@ pub trait JoinCondition: Send + Sync {
     fn describe(&self) -> String {
         "join condition".to_owned()
     }
+
+    /// A serializable description of this condition, if one exists.
+    ///
+    /// # Contract
+    ///
+    /// When `Some`, [`ConditionDescriptor::instantiate`] on the returned
+    /// descriptor must rebuild a condition whose `matches` and
+    /// `equi_structure` behave identically to `self` — remote shards
+    /// evaluate the rebuilt condition and their results must stay
+    /// byte-identical to local execution.  Conditions that cannot be
+    /// described as data (e.g. closures) return `None` and are rejected by
+    /// remote execution backends at build time.
+    fn descriptor(&self) -> Option<ConditionDescriptor> {
+        None
+    }
 }
 
 /// The trivial condition that accepts every combination (cross join).
@@ -97,6 +192,9 @@ impl JoinCondition for CrossJoin {
     }
     fn describe(&self) -> String {
         format!("cross join over {} streams", self.arity)
+    }
+    fn descriptor(&self) -> Option<ConditionDescriptor> {
+        Some(ConditionDescriptor::Cross { arity: self.arity })
     }
 }
 
@@ -154,6 +252,12 @@ impl JoinCondition for CommonKeyEquiJoin {
 
     fn describe(&self) -> String {
         format!("common-key equi-join on columns {:?}", self.columns)
+    }
+
+    fn descriptor(&self) -> Option<ConditionDescriptor> {
+        Some(ConditionDescriptor::CommonKey {
+            columns: self.columns.clone(),
+        })
     }
 }
 
@@ -249,6 +353,14 @@ impl JoinCondition for StarEquiJoin {
     fn describe(&self) -> String {
         format!("star equi-join anchored at stream {}", self.anchor + 1)
     }
+
+    fn descriptor(&self) -> Option<ConditionDescriptor> {
+        Some(ConditionDescriptor::Star {
+            anchor: self.anchor,
+            anchor_cols: self.anchor_cols.clone(),
+            other_cols: self.other_cols.clone(),
+        })
+    }
 }
 
 /// Euclidean-distance predicate for 2-way joins over position streams
@@ -318,6 +430,14 @@ impl JoinCondition for DistanceWithin {
     fn describe(&self) -> String {
         format!("dist() < {}", self.threshold)
     }
+
+    fn descriptor(&self) -> Option<ConditionDescriptor> {
+        Some(ConditionDescriptor::DistanceWithin {
+            x_cols: self.x_cols,
+            y_cols: self.y_cols,
+            threshold: self.threshold,
+        })
+    }
 }
 
 /// Band join on an integer/float attribute: `|S1.a - S2.a| <= band`.
@@ -335,6 +455,16 @@ impl BandJoin {
             columns.push(spec.schema.require(attribute)?);
         }
         Ok(BandJoin { columns, band })
+    }
+
+    /// Builds the condition from already-resolved column positions.
+    pub fn from_columns(columns: Vec<usize>, band: f64) -> Self {
+        BandJoin { columns, band }
+    }
+
+    /// The band width.
+    pub fn band(&self) -> f64 {
+        self.band
     }
 }
 
@@ -363,6 +493,13 @@ impl JoinCondition for BandJoin {
 
     fn describe(&self) -> String {
         format!("band join (width {})", self.band)
+    }
+
+    fn descriptor(&self) -> Option<ConditionDescriptor> {
+        Some(ConditionDescriptor::Band {
+            columns: self.columns.clone(),
+            band: self.band,
+        })
     }
 }
 
@@ -585,6 +722,77 @@ mod tests {
         assert_eq!(c.arity(), 2);
         assert!(format!("{c:?}").contains("sum_lt_10"));
         assert!(c.describe().contains("udf"));
+    }
+
+    #[test]
+    fn descriptors_rebuild_equivalent_conditions() {
+        let streams = common_key_streams(3);
+        let originals: Vec<Arc<dyn JoinCondition>> = vec![
+            Arc::new(CrossJoin::new(3)),
+            Arc::new(CommonKeyEquiJoin::new(&streams, "a1").unwrap()),
+            Arc::new(StarEquiJoin::new(&streams, 0, &[(1, "a1", "a1"), (2, "a1", "a1")]).unwrap()),
+            Arc::new(BandJoin::new(&streams, "a1", 2.0).unwrap()),
+        ];
+        let probes = [
+            vec![
+                int_tuple(0, vec![7]),
+                int_tuple(1, vec![7]),
+                int_tuple(2, vec![7]),
+            ],
+            vec![
+                int_tuple(0, vec![7]),
+                int_tuple(1, vec![8]),
+                int_tuple(2, vec![7]),
+            ],
+            vec![
+                int_tuple(0, vec![1]),
+                int_tuple(1, vec![2]),
+                int_tuple(2, vec![9]),
+            ],
+        ];
+        for original in &originals {
+            let descriptor = original
+                .descriptor()
+                .expect("built-in must describe itself");
+            let rebuilt = descriptor.instantiate();
+            assert_eq!(rebuilt.arity(), original.arity());
+            assert_eq!(rebuilt.equi_structure(), original.equi_structure());
+            assert_eq!(rebuilt.descriptor(), Some(descriptor));
+            for combo in &probes {
+                let refs: Vec<&Tuple> = combo.iter().collect();
+                assert_eq!(rebuilt.matches(&refs), original.matches(&refs));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_descriptor_roundtrips() {
+        let schema = Schema::new(vec![
+            ("xCoord", FieldType::Float),
+            ("yCoord", FieldType::Float),
+        ]);
+        let streams = StreamSet::homogeneous(2, schema, 5_000).unwrap();
+        let original = DistanceWithin::new(&streams, "xCoord", "yCoord", 5.0).unwrap();
+        let rebuilt = original.descriptor().unwrap().instantiate();
+        let make = |stream: usize, x: f64, y: f64| {
+            Tuple::new(
+                stream.into(),
+                0,
+                Timestamp::ZERO,
+                vec![Value::Float(x), Value::Float(y)],
+            )
+        };
+        let a = make(0, 10.0, 10.0);
+        let near = make(1, 12.0, 13.0);
+        let far = make(1, 20.0, 10.0);
+        assert!(rebuilt.matches(&[&a, &near]));
+        assert!(!rebuilt.matches(&[&a, &far]));
+    }
+
+    #[test]
+    fn closures_have_no_descriptor() {
+        let c = PredicateFn::new(2, "opaque", |_: &[&Tuple]| true);
+        assert!(c.descriptor().is_none());
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod result;
 pub mod window;
 
 pub use condition::{
-    BandJoin, CommonKeyEquiJoin, CrossJoin, DistanceWithin, EquiStructure, JoinCondition,
-    PredicateFn, StarEquiJoin,
+    BandJoin, CommonKeyEquiJoin, ConditionDescriptor, CrossJoin, DistanceWithin, EquiStructure,
+    JoinCondition, PredicateFn, StarEquiJoin,
 };
 pub use operator::{MswjOperator, OperatorStats, ProbeOutcome};
 pub use partition::{join_key_hash, Partitioner, Route, RoutingTable};

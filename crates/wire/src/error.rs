@@ -1,0 +1,108 @@
+//! Decode and I/O failures of the wire protocol.
+//!
+//! Every decoding path returns one of these instead of panicking: a frame
+//! assembled from a hostile or corrupted peer must never crash the process,
+//! over-read the buffer, or allocate unbounded memory.
+
+use std::fmt;
+
+/// Why a frame could not be encoded, decoded or exchanged.
+#[derive(Debug)]
+pub enum WireError {
+    /// The input ended before a complete header or payload was available.
+    ///
+    /// For streaming decoders this is recoverable — read more bytes and
+    /// retry; for a complete, length-delimited payload it means the peer
+    /// lied about the length and the frame must be rejected.
+    Truncated {
+        /// Bytes the decoder needed to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The bytes do not describe a well-formed frame: bad magic, an unknown
+    /// frame type or enum tag, invalid UTF-8, an impossible collection
+    /// length, or trailing garbage after the payload.
+    Corrupt(String),
+    /// The peer speaks a different protocol revision.
+    VersionMismatch {
+        /// The locally supported [`PROTOCOL_VERSION`](crate::PROTOCOL_VERSION).
+        ours: u16,
+        /// The version announced in the peer's frame header.
+        theirs: u16,
+    },
+    /// The declared payload length exceeds the hard cap
+    /// ([`MAX_PAYLOAD`](crate::MAX_PAYLOAD)); decoding refuses to allocate.
+    TooLarge {
+        /// The declared payload length.
+        len: u64,
+        /// The maximum accepted payload length.
+        max: u64,
+    },
+    /// An underlying socket or pipe error while reading or writing a frame.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => write!(
+                f,
+                "truncated frame: needed {needed} bytes, only {available} available"
+            ),
+            WireError::Corrupt(detail) => write!(f, "corrupt frame: {detail}"),
+            WireError::VersionMismatch { ours, theirs } => write!(
+                f,
+                "protocol version mismatch: we speak v{ours}, peer sent v{theirs}"
+            ),
+            WireError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this error means the peer went away (EOF / reset / broken
+    /// pipe) rather than sending malformed data.
+    pub fn is_disconnect(&self) -> bool {
+        match self {
+            WireError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            _ => false,
+        }
+    }
+
+    /// Whether this error is a read-deadline expiry rather than a protocol
+    /// or connection failure.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            WireError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `mswj-shardd` — a standalone shard server for the remote execution
+//! backend.
+//!
+//! Serves shard operators over the versioned `mswj-wire` protocol: each
+//! accepted connection gets its own operator (configured by the client's
+//! setup frame) and its own thread, so one daemon can back several shards
+//! of one engine, or several engines at once.
+//!
+//! ```text
+//! mswj-shardd --uds /tmp/mswj-shard.sock   # Unix-domain socket
+//! mswj-shardd --tcp 127.0.0.1:7400         # localhost TCP
+//! ```
+//!
+//! Point `ExecutionBackend::Remote` at the same endpoint to use it.
+
+use mswj_core::engine::transport::{serve_tcp, serve_uds};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mswj-shardd --uds <socket-path> | --tcp <host:port>\n\n\
+         Serves mswj shard operators over the versioned wire protocol; one\n\
+         operator and one thread per accepted connection.  Runs until killed."
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [flag, value] if flag == "--uds" => serve_uds(&PathBuf::from(value)),
+        [flag, value] if flag == "--tcp" => serve_tcp(value),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("mswj-shardd: {e}");
+        exit(1);
+    }
+}

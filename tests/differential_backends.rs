@@ -20,12 +20,55 @@
 //!
 //! Well over 60 randomized workloads run across the tests below
 //! (30 common-key + 15 star + 15 mixed-type + 6 unpartitionable), each
-//! compared across the backend/batching matrix above.
+//! compared across the backend/batching matrix above — which also includes
+//! `Remote` with in-process shard servers, so every workload additionally
+//! round-trips all of its epochs, barriers and skew migrations through the
+//! versioned wire codec.  A separate test drives the `Remote` backend
+//! against real `mswj-shardd` processes over Unix-domain sockets.
 
 use mswj::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// A running `mswj-shardd` child serving a Unix-domain socket, killed (and
+/// its socket file removed) on drop.
+struct Shardd {
+    child: std::process::Child,
+    path: std::path::PathBuf,
+}
+
+impl Shardd {
+    /// Spawns the daemon on a fresh socket path; `Socket::connect`'s retry
+    /// loop absorbs the bind race.
+    fn spawn(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("mswj-{}-{tag}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let child = std::process::Command::new(env!("CARGO_BIN_EXE_mswj-shardd"))
+            .arg("--uds")
+            .arg(&path)
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawning mswj-shardd");
+        Shardd { child, path }
+    }
+
+    /// A remote backend with `shards` connections to this daemon (each
+    /// connection gets its own shard operator server-side).
+    fn backend(&self, shards: usize) -> ExecutionBackend {
+        ExecutionBackend::Remote {
+            endpoints: vec![Endpoint::Uds(self.path.clone()); shards],
+        }
+    }
+}
+
+impl Drop for Shardd {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
 
 /// Canonical multiset encoding of materialized results.
 fn canon(results: &[JoinResult]) -> Vec<String> {
@@ -106,8 +149,11 @@ fn assert_backends_agree(
         (ExecutionBackend::Threads(4), 64),
         (ExecutionBackend::Pool { workers: 4 }, 64),
         (ExecutionBackend::Pool { workers: 4 }, 1),
+        // In-process shard servers: every epoch and barrier crosses the
+        // wire codec; the workload must survive serialization unchanged.
+        (ExecutionBackend::remote_inproc(4), 64),
     ] {
-        let (results, report) = run(query, policy, backend, batch, events);
+        let (results, report) = run(query, policy, backend.clone(), batch, events);
         assert_eq!(
             seq_results, results,
             "[{label}] {backend} must produce a byte-identical result multiset"
@@ -339,11 +385,12 @@ fn unpartitionable_conditions_fall_back_to_one_shard() {
         for backend in [
             ExecutionBackend::Threads(4),
             ExecutionBackend::Pool { workers: 4 },
+            ExecutionBackend::remote_inproc(4),
         ] {
             let p = Pipeline::builder()
                 .query(query.clone())
                 .policy(policy.clone())
-                .parallelism(backend)
+                .parallelism(backend.clone())
                 .build()
                 .unwrap();
             assert_eq!(p.engine().shard_count(), 1, "[{label}] {backend}");
@@ -397,9 +444,12 @@ fn skewed_workloads_with_splitting_match_the_unsplit_reference() {
             (ExecutionBackend::Threads(4), 64),
             (ExecutionBackend::Pool { workers: 4 }, 64),
             (ExecutionBackend::Pool { workers: 4 }, 1),
+            // Split/unsplit transitions migrate build state through
+            // fetch-class/adopt/purge frames on this one.
+            (ExecutionBackend::remote_inproc(4), 64),
         ] {
             let (results, report) =
-                run_with_skew(&query, &policy, backend, batch, &events, Some(skew));
+                run_with_skew(&query, &policy, backend.clone(), batch, &events, Some(skew));
             assert_eq!(
                 want, results,
                 "[{label}] {backend} with splitting must match the unsplit reference"
@@ -433,13 +483,102 @@ fn zero_worker_backends_are_rejected_at_build() {
     for backend in [
         ExecutionBackend::Threads(0),
         ExecutionBackend::Pool { workers: 0 },
+        ExecutionBackend::Remote {
+            endpoints: Vec::new(),
+        },
     ] {
         let r = Pipeline::builder()
             .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
             .on_common_key("a1")
             .no_k_slack()
-            .parallelism(backend)
+            .parallelism(backend.clone())
             .build();
         assert!(r.is_err(), "{backend} must be rejected");
     }
+}
+
+#[test]
+fn remote_uds_backend_agrees_with_sequential() {
+    // Real process separation: four connections to one `mswj-shardd`
+    // daemon over a Unix-domain socket, each backing one shard.  A subset
+    // of the randomized common-key workloads (plus a skewed one below)
+    // keeps the socket suite fast while still covering checkpoints,
+    // K-changes and out-of-order arrivals end to end.
+    let daemon = Shardd::spawn("diff");
+    for case in 0..4usize {
+        let mut rng = StdRng::seed_from_u64(0x0BAC_CE4D + case as u64);
+        let m = 2 + case % 2;
+        let window = if m == 2 {
+            rng.gen_range(300u64..1_200)
+        } else {
+            rng.gen_range(200u64..500)
+        };
+        let query = common_key_query(m, window);
+        let policy = policy_for(case, &mut rng);
+        let events = gen_events(
+            &mut rng,
+            m,
+            if m == 2 { 90 } else { 70 },
+            300,
+            |_, _, key| vec![Value::Int(key)],
+            if m == 2 { 6 } else { 8 },
+        );
+        let label = format!("uds common #{case}");
+        let (want, want_report) = run(&query, &policy, ExecutionBackend::Sequential, 1, &events);
+        let (got, report) = run(&query, &policy, daemon.backend(4), 64, &events);
+        assert_eq!(want, got, "[{label}] result multiset diverged");
+        assert_eq!(want_report.produced, report.produced, "[{label}]");
+        let ks = |r: &RunReport| r.checkpoints.iter().map(|c| c.k).collect::<Vec<_>>();
+        assert_eq!(ks(&want_report), ks(&report), "[{label}]");
+        let frames: u64 = report
+            .shard_stats
+            .iter()
+            .map(|s| s.runtime.frames_sent)
+            .sum();
+        assert!(frames > 0, "[{label}] traffic must cross the socket");
+    }
+}
+
+#[test]
+fn remote_uds_backend_handles_skew_splitting() {
+    // Hot-key splitting against real shard-server processes: the build
+    // state of the hot class migrates over the socket (fetch-class, adopt,
+    // purge frames at barriers) and results stay byte-identical to the
+    // unsplit sequential reference.
+    let daemon = Shardd::spawn("skew");
+    let skew = SkewConfig {
+        split_share: 0.3,
+        unsplit_share: 0.1,
+        min_routed: 48,
+    };
+    let mut any_split = false;
+    for case in 0..2usize {
+        let mut rng = StdRng::seed_from_u64(0x5917_BA1A + case as u64);
+        let window = rng.gen_range(300u64..900);
+        let query = common_key_query(2, window);
+        let policy = policy_for(case, &mut rng);
+        let shift = case % 2 == 1;
+        let mut sent = [0usize; 2];
+        let events = gen_events(
+            &mut rng,
+            2,
+            120,
+            300,
+            |rng, stream, key| {
+                let j = sent[stream];
+                sent[stream] += 1;
+                let hot = if shift && j >= 60 { 13 } else { 7 };
+                vec![Value::Int(if rng.gen_bool(0.6) { hot } else { 100 + key })]
+            },
+            8,
+        );
+        let label = format!("uds skewed #{case}");
+        let (want, want_report) = run(&query, &policy, ExecutionBackend::Sequential, 1, &events);
+        let (got, report) =
+            run_with_skew(&query, &policy, daemon.backend(4), 64, &events, Some(skew));
+        assert_eq!(want, got, "[{label}] result multiset diverged");
+        assert_eq!(want_report.produced, report.produced, "[{label}]");
+        any_split |= report.skew_transitions.iter().any(|t| t.split);
+    }
+    assert!(any_split, "the hot key must split over the socket backend");
 }

@@ -1,8 +1,10 @@
 //! Lifecycle tests for the resident worker pool
-//! (`ExecutionBackend::Pool`): workers must join cleanly when a session is
-//! dropped mid-stream (even with a pipelined epoch still in flight), a
-//! panicking worker must surface as a panic on the caller thread instead of
-//! a hang, and repeated build/finish cycles must not leak threads.
+//! (`ExecutionBackend::Pool`) and the remote backend: workers must join
+//! cleanly when a session is dropped mid-stream (even with a pipelined
+//! epoch still in flight), a panicking worker must surface as a panic on
+//! the caller thread instead of a hang, repeated build/finish cycles must
+//! not leak threads, and killing a shard-server process mid-epoch must
+//! surface a typed [`EngineError::ShardLost`] within the read timeout.
 //!
 //! Thread-count assertions read `/proc/self/status` and therefore only run
 //! on Linux; everywhere else the tests still assert the behavioural part
@@ -159,6 +161,75 @@ fn panicking_worker_surfaces_as_error_not_hang() {
     }
     // The pool (dropped during the unwind) must still have joined its
     // workers — a panicked worker, and its healthy siblings, all exit.
+    if let Some(base) = baseline {
+        assert_threads_return_to(base);
+    }
+}
+
+#[test]
+fn killed_shard_server_surfaces_shard_lost_not_a_hang() {
+    let _guard = THREAD_COUNT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = thread_count();
+    let elapsed;
+    {
+        // A real shard-server process over a Unix-domain socket.
+        let sock = std::env::temp_dir().join(format!("mswj-lifecycle-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mswj-shardd"))
+            .arg("--uds")
+            .arg(&sock)
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawning mswj-shardd");
+        let mut pipeline = mswj::session()
+            .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 500)
+            .on_common_key("a1")
+            .no_k_slack()
+            .parallelism(ExecutionBackend::Remote {
+                endpoints: vec![Endpoint::Uds(sock.clone()); 2],
+            })
+            .build()
+            .unwrap();
+        // Leave an epoch in flight (800 ms of arrival axis, below the 1 s
+        // checkpoint interval, so no barrier has collected it yet)...
+        pipeline.push_batch_into(events(400), &mut NullSink);
+        assert!(
+            pipeline.engine().has_outstanding(),
+            "the batch must leave a remote epoch in flight"
+        );
+        // ...then kill the daemon under it.
+        child.kill().expect("killing mswj-shardd");
+        child.wait().expect("reaping mswj-shardd");
+        let _ = std::fs::remove_file(&sock);
+        let start = std::time::Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut pipeline = pipeline;
+            pipeline.push_batch_into(events(400), &mut NullSink);
+            let _ = pipeline.finish_into(&mut NullSink);
+        }));
+        elapsed = start.elapsed();
+        let payload = result.expect_err("a dead shard server must surface as a panic");
+        match payload.downcast_ref::<EngineError>() {
+            Some(EngineError::ShardLost { shard, detail }) => {
+                assert!(*shard < 2, "shard index in range, got {shard}");
+                assert!(
+                    detail.contains("uds:"),
+                    "detail names the endpoint: {detail}"
+                );
+            }
+            Some(other) => panic!("expected ShardLost, got {other}"),
+            None => panic!("the panic payload must be a typed EngineError"),
+        }
+    }
+    // A killed peer fails fast (EOF/EPIPE), far inside the 10 s read
+    // timeout that bounds even a silent-but-alive peer.
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "ShardLost must surface within the read timeout, took {elapsed:?}"
+    );
+    // The session (dropped during the unwind, with a dead peer and a
+    // best-effort shutdown handshake that cannot complete) must still
+    // release every local thread.
     if let Some(base) = baseline {
         assert_threads_return_to(base);
     }

@@ -169,7 +169,7 @@ fn parallel_backends_small_batch_fallback_stays_allocation_free() {
             .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 100)
             .on_common_key("a1")
             .no_k_slack()
-            .parallelism(backend)
+            .parallelism(backend.clone())
             .build()
             .unwrap();
         let warmup = events(1, 400);
