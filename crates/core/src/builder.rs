@@ -29,7 +29,7 @@
 //! ```
 
 use crate::config::{DisorderConfig, SelectivityStrategy};
-use crate::engine::{ExecutionBackend, SkewConfig};
+use crate::engine::{ExecutionBackend, ReplanConfig, SkewConfig};
 use crate::pipeline::Pipeline;
 use crate::policy::BufferPolicy;
 use mswj_join::{
@@ -104,6 +104,7 @@ pub struct SessionBuilder {
     probe: ProbeStrategy,
     backend: ExecutionBackend,
     skew: Option<SkewConfig>,
+    replan: Option<ReplanConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -141,6 +142,7 @@ impl SessionBuilder {
             probe: ProbeStrategy::default(),
             backend: ExecutionBackend::default(),
             skew: None,
+            replan: None,
         }
     }
 
@@ -373,6 +375,35 @@ impl SessionBuilder {
         self
     }
 
+    /// Arms runtime probe re-planning on the sharded join stage with the
+    /// default [`ReplanConfig`] thresholds.
+    ///
+    /// The probe plan is chosen from the query shape alone, before any
+    /// data has been seen.  With re-planning armed, the engine revisits
+    /// three of its decisions at the same idle barriers the skew layer
+    /// uses, from observed window statistics: the star partition pair is
+    /// re-selected so the heaviest satellite is key-routed and only light
+    /// streams stay on the broadcast path (migrating the affected window
+    /// state between shards), the m-way probe chain is
+    /// reordered by observed match rates, and the hash index is demoted to
+    /// the nested-loop scan when the fallback share shows maintenance
+    /// stopped paying.  Every revision is recorded in
+    /// [`RunReport::plan_transitions`](crate::RunReport::plan_transitions);
+    /// decisions come from engine-global statistics, so the result
+    /// multiset stays identical across execution backends — and identical
+    /// to a run without re-planning.
+    pub fn runtime_replanning(self) -> Self {
+        self.runtime_replanning_with(ReplanConfig::default())
+    }
+
+    /// Arms runtime probe re-planning with explicit thresholds — see
+    /// [`SessionBuilder::runtime_replanning`].  The config is validated at
+    /// [`SessionBuilder::build`].
+    pub fn runtime_replanning_with(mut self, config: ReplanConfig) -> Self {
+        self.replan = Some(config);
+        self
+    }
+
     /// Validates the declaration and constructs the [`Pipeline`].
     ///
     /// # Errors
@@ -406,6 +437,9 @@ impl SessionBuilder {
         }
         if let Some(skew) = &self.skew {
             skew.validate().map_err(Error::InvalidConfig)?;
+        }
+        if let Some(replan) = &self.replan {
+            replan.validate().map_err(Error::InvalidConfig)?;
         }
         let policy = Self::resolve_policy(self.policy, self.overrides)?;
         let query = match self.query {
@@ -441,6 +475,7 @@ impl SessionBuilder {
             self.probe,
             self.backend,
             self.skew,
+            self.replan,
         )
     }
 

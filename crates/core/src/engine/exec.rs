@@ -20,6 +20,7 @@
 //! order, shard order within a tuple**, so the emitted event stream is
 //! deterministic regardless of thread scheduling.
 
+use super::replan::StreamTally;
 use super::{Decision, EngineEvent, Item, Placement, ShardRuntimeStats, SubOutcome};
 use mswj_join::{JoinResult, MswjOperator, OperatorStats, ProbeOutcome};
 use std::collections::VecDeque;
@@ -65,6 +66,7 @@ fn finish_tuple(
     n_join: u64,
     indexed: bool,
     stats: &mut OperatorStats,
+    tally: &mut [StreamTally],
     f: &mut dyn FnMut(EngineEvent<'_>),
 ) {
     let outcome = ProbeOutcome {
@@ -76,6 +78,9 @@ fn finish_tuple(
         expired: d.expired,
     };
     if d.in_order {
+        let t = &mut tally[d.stream];
+        t.probes += 1;
+        t.matches += n_join;
         stats.in_order += 1;
         if outcome.indexed {
             stats.indexed_probes += 1;
@@ -121,6 +126,7 @@ pub(super) fn run_inline<S: ShardAccess + ?Sized>(
     queues: &mut [VecDeque<Item>],
     decisions: &[Decision],
     stats: &mut OperatorStats,
+    tally: &mut [StreamTally],
     f: &mut dyn FnMut(EngineEvent<'_>),
 ) {
     for &d in decisions {
@@ -144,7 +150,7 @@ pub(super) fn run_inline<S: ShardAccess + ?Sized>(
                 }
             }
         }
-        finish_tuple(d, n_join, indexed, stats, f);
+        finish_tuple(d, n_join, indexed, stats, tally, f);
     }
 }
 
@@ -212,6 +218,7 @@ pub(super) fn merge_epoch(
     sub: &mut [Vec<SubOutcome>],
     mat: &mut [Vec<(u32, JoinResult)>],
     stats: &mut OperatorStats,
+    tally: &mut [StreamTally],
     f: &mut dyn FnMut(EngineEvent<'_>),
 ) {
     let n = sub.len();
@@ -233,7 +240,7 @@ pub(super) fn merge_epoch(
                 indexed &= o.indexed;
             }
         }
-        finish_tuple(d, n_join, indexed, stats, f);
+        finish_tuple(d, n_join, indexed, stats, tally, f);
     }
     for s in 0..n {
         debug_assert_eq!(sub_cur[s], sub[s].len(), "unconsumed shard outcomes");

@@ -148,6 +148,7 @@
 mod exec;
 mod occupancy;
 mod pool;
+pub mod replan;
 pub mod skew;
 pub mod transport;
 
@@ -158,6 +159,8 @@ use mswj_join::{
 use mswj_types::{Error, StreamIndex, Timestamp, Tuple};
 use occupancy::Occupancy;
 use pool::{Epoch, ShardPool, Task};
+use replan::{reorder_candidate, reorder_is_decisive, ReplanState, StreamTally};
+pub use replan::{PlanAction, PlanTransition, ReplanConfig};
 use skew::SkewDetector;
 pub use skew::{SkewConfig, SkewTransition};
 use std::collections::VecDeque;
@@ -271,6 +274,9 @@ enum Placement {
 /// The globally decided part of one staged tuple's outcome.
 #[derive(Debug, Clone, Copy)]
 struct Decision {
+    /// The tuple's stream — keyed per-stream probe/match tallies at the
+    /// sequential-equivalent merge point.
+    stream: usize,
     in_order: bool,
     inserted: bool,
     n_cross: u64,
@@ -323,6 +329,12 @@ pub struct ShardRuntimeStats {
     /// Connection attempts beyond the first while establishing the link
     /// (`Remote` backend).
     pub reconnects: u64,
+    /// Plan revisions (pair switches, probe reorders, index demotions) the
+    /// runtime re-planner applied to this shard's operator.
+    pub plan_revisions: u64,
+    /// Tuples adopted into this shard's windows by pair-switch state
+    /// migration.
+    pub migrated_tuples: u64,
 }
 
 /// One shard's complete statistics: the shard operator's lifetime counters
@@ -405,6 +417,18 @@ pub struct JoinEngine {
     detector: Option<SkewDetector>,
     /// Every split/unsplit transition taken, in decision order.
     transitions: Vec<SkewTransition>,
+    /// The runtime re-planner; `None` unless re-planning was opted into.
+    replan: Option<ReplanState>,
+    /// Engine-global per-stream probe/match tallies — the observed match
+    /// rates behind probe reordering.  Maintained unconditionally (a few
+    /// adds per finished tuple) so arming re-planning never changes what
+    /// the engine observes.
+    tally: Vec<StreamTally>,
+    /// The satellite stream currently key-routed with the star anchor
+    /// (`None` for non-star plans).
+    star_partner: Option<usize>,
+    /// Every plan revision taken, in decision order.
+    plan_transitions: Vec<PlanTransition>,
     /// Round-robin cursor choosing the probe shard of split-routed tuples.
     split_rr: u64,
     /// Per-shard `routed` snapshot at the last skew-evaluation window
@@ -517,6 +541,26 @@ impl JoinEngine {
         backend: ExecutionBackend,
         skew: Option<SkewConfig>,
     ) -> Result<Self, Error> {
+        Self::try_with_policies(query, strategy, enumerate, backend, skew, None)
+    }
+
+    /// Like [`JoinEngine::try_with_skew`], additionally arming runtime
+    /// probe re-planning when `replan` is `Some`: at the same idle barriers
+    /// the skew layer uses, the engine may re-select the star partition
+    /// pair to the lowest observed-cardinality satellite (migrating window
+    /// state), reorder the m-way probe chain by observed match rates, or
+    /// demote the hash index to the nested-loop scan when the fallback
+    /// share shows maintenance stopped paying.  Every revision lands in
+    /// [`JoinEngine::plan_transitions`]; all decisions come from
+    /// engine-global statistics, so they are identical on every backend.
+    pub fn try_with_policies(
+        query: JoinQuery,
+        strategy: ProbeStrategy,
+        enumerate: bool,
+        backend: ExecutionBackend,
+        skew: Option<SkewConfig>,
+        replan: Option<ReplanConfig>,
+    ) -> Result<Self, Error> {
         let equi = query.condition().equi_structure();
         let plan = ProbePlan::new(strategy, equi.as_ref());
         let partitioner = Partitioner::new(&plan, backend.requested_shards());
@@ -564,6 +608,8 @@ impl JoinEngine {
             .filter(|_| partitioner.supports_splitting())
             .map(SkewDetector::new);
         let m = query.arity();
+        let replan = replan.map(|config| ReplanState::new(config, m));
+        let star_partner = Partitioner::default_star_partner(&plan);
         Ok(JoinEngine {
             shards,
             pool,
@@ -580,6 +626,10 @@ impl JoinEngine {
             table: RoutingTable::new(),
             detector,
             transitions: Vec::new(),
+            replan,
+            tally: vec![StreamTally::default(); m],
+            star_partner,
+            plan_transitions: Vec::new(),
             split_rr: 0,
             hh_base: vec![0; n],
             hh_warned: None,
@@ -741,6 +791,30 @@ impl JoinEngine {
         &self.transitions
     }
 
+    /// Whether runtime probe re-planning is armed on this engine.
+    pub fn replanning_enabled(&self) -> bool {
+        self.replan.is_some()
+    }
+
+    /// The satellite stream currently key-routed with the star anchor —
+    /// the planner's blind default until a pair switch re-selects it.
+    /// `None` for non-star plans.
+    pub fn star_partner(&self) -> Option<usize> {
+        self.star_partner
+    }
+
+    /// Every plan revision the runtime re-planner has taken, in decision
+    /// order.
+    pub fn plan_transitions(&self) -> &[PlanTransition] {
+        &self.plan_transitions
+    }
+
+    /// The routing-table version: bumped by every hot-key split/unsplit
+    /// and by every partition-pair switch.
+    pub fn routing_epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
     /// Stages one synchronized tuple for the next [`JoinEngine::flush`].
     pub fn stage(&mut self, tuple: Tuple) {
         self.pending.push(tuple);
@@ -800,6 +874,7 @@ impl JoinEngine {
             // Every shard is idle after a barrier flush: the only point
             // where routing may change and state may migrate.
             self.evaluate_skew();
+            self.evaluate_replan();
         }
     }
 
@@ -837,10 +912,11 @@ impl JoinEngine {
                     queues,
                     decisions,
                     stats,
+                    tally,
                     ..
                 } = self;
                 let pool = pool.as_mut().expect("checked above");
-                exec::run_inline(pool.shards_mut(), queues, decisions, stats, f);
+                exec::run_inline(pool.shards_mut(), queues, decisions, stats, tally, f);
                 self.decisions.clear();
             } else {
                 self.submit_epoch();
@@ -865,6 +941,7 @@ impl JoinEngine {
                 &mut self.sub,
                 &mut self.mat,
                 &mut self.stats,
+                &mut self.tally,
                 f,
             );
         } else {
@@ -873,6 +950,7 @@ impl JoinEngine {
                 &mut self.queues,
                 &self.decisions,
                 &mut self.stats,
+                &mut self.tally,
                 f,
             );
         }
@@ -976,6 +1054,7 @@ impl JoinEngine {
             &mut self.sub,
             &mut self.mat,
             &mut self.stats,
+            &mut self.tally,
             f,
         );
         pend.decisions.clear();
@@ -1009,6 +1088,7 @@ impl JoinEngine {
                 self.occupancy.insert(i, tuple.ts);
                 let placement = self.enqueue(seq, true, tuple);
                 self.decisions.push(Decision {
+                    stream: i,
                     in_order: true,
                     inserted: true,
                     n_cross,
@@ -1028,6 +1108,7 @@ impl JoinEngine {
                     Placement::None
                 };
                 self.decisions.push(Decision {
+                    stream: i,
                     in_order: false,
                     inserted: keep,
                     n_cross: 0,
@@ -1283,6 +1364,266 @@ impl JoinEngine {
         }
     }
 
+    /// Evaluates a plan revision for the closing window, when re-planning
+    /// is armed and the window holds enough probes to judge.  Like skew
+    /// evaluation, this must only run at a barrier (every queue drained, no
+    /// epoch outstanding) and takes every decision from engine-global
+    /// statistics — occupancy cardinalities, the sequential-equivalent
+    /// stats and the per-stream tallies — so all backends revise the plan
+    /// at the same points, identically.
+    fn evaluate_replan(&mut self) {
+        let Some(state) = &self.replan else {
+            return;
+        };
+        let config = state.config;
+        debug_assert!(
+            self.outstanding.is_none() && self.queues.iter().all(VecDeque::is_empty),
+            "plan revision requires an idle engine"
+        );
+        let probes: u64 = self.tally.iter().map(|t| t.probes).sum();
+        if probes - state.probes_base < config.min_probes {
+            return; // Too thin to judge: carry the window forward.
+        }
+        self.consider_pair_switch(&config);
+        self.consider_reorder(&config);
+        self.consider_demotion(&config);
+        // Start a fresh evaluation window.
+        let state = self.replan.as_mut().expect("checked above");
+        state.probes_base = probes;
+        state.indexed_base = self.stats.indexed_probes;
+        state.fallback_base = self.stats.fallback_probes;
+    }
+
+    /// Re-selects the star partition pair when a satellite outside the
+    /// pair carries [`ReplanConfig::switch_ratio`] times the live
+    /// cardinality of the current partner — a broadcast stream pays for
+    /// every tuple on every shard, so the heaviest satellite belongs in
+    /// the key-routed slot and only light streams on the broadcast path.
+    /// The affected window state migrates at this barrier and the
+    /// routing-table epoch is bumped, exactly like a skew transition.
+    fn consider_pair_switch(&mut self, config: &ReplanConfig) {
+        let ProbePlan::Star { anchor, .. } = &self.plan else {
+            return;
+        };
+        let anchor = *anchor;
+        if self.shard_count() <= 1 {
+            return;
+        }
+        // Star plans never split (broadcast satellites), so the routing
+        // table only ever carries the partitioner epoch here.
+        debug_assert!(self.table.split_classes().is_empty());
+        let Some(current) = self.star_partner else {
+            return;
+        };
+        let candidate = (0..self.query.arity())
+            .filter(|&j| j != anchor)
+            .max_by_key(|&j| (self.occupancy.len(j), std::cmp::Reverse(j)))
+            .expect("a star plan has at least one satellite");
+        if candidate == current {
+            return;
+        }
+        let cur_n = (self.occupancy.len(current) + 1) as f64;
+        let cand_n = (self.occupancy.len(candidate) + 1) as f64;
+        if cand_n < config.switch_ratio * cur_n {
+            return; // Inside the hysteresis band.
+        }
+        self.apply_pair_switch(current, candidate);
+        self.plan_transitions.push(PlanTransition {
+            action: PlanAction::PairSwitch {
+                from: current,
+                to: candidate,
+            },
+            at: self.on_t,
+        });
+    }
+
+    /// Migrates window state from the partitioning `(anchor, from)` to
+    /// `(anchor, to)` and swaps in the re-paired partitioner.  Runs at an
+    /// idle barrier; every window that moves is snapshotted *before* any
+    /// shard is mutated, so reads never observe a half-migrated peer.
+    ///
+    /// Three streams change routing mode:
+    /// * the old partner goes key-routed → broadcast: each shard's
+    ///   disjoint slice is replicated into every other shard;
+    /// * the new partner goes broadcast → key-routed: every shard already
+    ///   holds the full window and just retains its home slice;
+    /// * the anchor is re-keyed onto the new pair column (unless both
+    ///   pairs share it): each shard retains the tuples that still belong
+    ///   to it and the misplaced remainder is adopted by its new home.
+    fn apply_pair_switch(&mut self, from: usize, to: usize) {
+        let n = self.shard_count();
+        let ProbePlan::Star { anchor, .. } = &self.plan else {
+            unreachable!("caller matched a star plan");
+        };
+        let anchor = *anchor;
+        let next =
+            Partitioner::with_star_partner(&self.plan, self.backend.requested_shards(), Some(to));
+        debug_assert_eq!(next.shard_count(), n, "a pair switch never re-shards");
+        let from_slices: Vec<Vec<Tuple>> = (0..n).map(|s| self.fetch_window_of(s, from)).collect();
+        let anchor_rekeyed = self.partitioner.column(anchor) != next.column(anchor);
+        let anchor_snaps: Vec<Vec<Tuple>> = if anchor_rekeyed {
+            (0..n).map(|s| self.fetch_window_of(s, anchor)).collect()
+        } else {
+            Vec::new()
+        };
+        // Old partner: replicate each shard's slice into every other shard.
+        for (s, slice) in from_slices.iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            for t in (0..n).filter(|&t| t != s) {
+                self.adopt_into(t, slice);
+            }
+        }
+        // New partner: every shard retains its home slice of the full
+        // (previously broadcast) window.
+        let to_col = next
+            .column(to)
+            .expect("the partner satellite is key-routed");
+        for s in 0..n {
+            self.retain_home_slice(s, to, to_col, n);
+        }
+        // Anchor: retain by new home, then deliver each misplaced tuple to
+        // the shard that now owns it.
+        if anchor_rekeyed {
+            let col = next.column(anchor).expect("the anchor is key-routed");
+            for s in 0..n {
+                self.retain_home_slice(s, anchor, col, n);
+            }
+            for (s, snap) in anchor_snaps.iter().enumerate() {
+                for target in (0..n).filter(|&t| t != s) {
+                    let moved: Vec<Tuple> = snap
+                        .iter()
+                        .filter(|t| next.home_shard(join_key_hash(t.value(col))) == target)
+                        .cloned()
+                        .collect();
+                    if !moved.is_empty() {
+                        self.adopt_into(target, &moved);
+                    }
+                }
+            }
+        }
+        self.partitioner = next;
+        self.star_partner = Some(to);
+        // Out-of-table routing change: in-flight epochs must never straddle
+        // it (they cannot — the engine is idle), and the pipeline's
+        // routing-epoch sanity checks should see it.
+        self.table.bump_epoch();
+        for s in 0..n {
+            self.runtime[s].plan_revisions += 1;
+        }
+    }
+
+    /// Reorders the m-way probe chain ascending by observed match rate —
+    /// the least productive stream's window is probed first, so empty
+    /// probes exit as early as possible.  Adopted only when every inverted
+    /// stream pair clears [`ReplanConfig::reorder_margin`]; a reorder is a
+    /// pure access-path change, the result multiset cannot move.
+    fn consider_reorder(&mut self, config: &ReplanConfig) {
+        let candidate = reorder_candidate(&self.tally);
+        let state = self.replan.as_ref().expect("caller checked");
+        if candidate == state.order
+            || !reorder_is_decisive(&state.order, &candidate, &self.tally, config.reorder_margin)
+        {
+            return;
+        }
+        self.apply_revision(&candidate, false);
+        self.replan.as_mut().expect("caller checked").order = candidate.clone();
+        self.plan_transitions.push(PlanTransition {
+            action: PlanAction::Reorder { order: candidate },
+            at: self.on_t,
+        });
+    }
+
+    /// Demotes the hash index to the nested-loop scan once the closing
+    /// window's fallback share reaches
+    /// [`ReplanConfig::demote_fallback_share`] — probes were scanning
+    /// anyway, so maintenance was pure overhead.  One-way: windows drop
+    /// their indexes permanently, which is its own hysteresis.
+    fn consider_demotion(&mut self, config: &ReplanConfig) {
+        let state = self.replan.as_ref().expect("caller checked");
+        if state.demoted || matches!(self.plan, ProbePlan::NestedLoop) {
+            return;
+        }
+        let indexed = self.stats.indexed_probes - state.indexed_base;
+        let fallback = self.stats.fallback_probes - state.fallback_base;
+        if indexed + fallback == 0
+            || (fallback as f64) < config.demote_fallback_share * (indexed + fallback) as f64
+        {
+            return;
+        }
+        self.apply_revision(&[], true);
+        self.replan.as_mut().expect("caller checked").demoted = true;
+        self.plan_transitions.push(PlanTransition {
+            action: PlanAction::DemoteIndex,
+            at: self.on_t,
+        });
+    }
+
+    /// Applies a probe reorder and/or index demotion to every shard
+    /// operator, local or remote (an empty `order` leaves the order
+    /// unchanged, matching the wire frame's contract).
+    fn apply_revision(&mut self, order: &[usize], demote: bool) {
+        let n = self.shard_count();
+        for s in 0..n {
+            if let Some(remote) = &mut self.remote {
+                remote.revise(s, order, demote);
+            } else {
+                self.with_shard_mut(s, |op| {
+                    if !order.is_empty() {
+                        op.set_probe_order(order.to_vec());
+                    }
+                    if demote {
+                        op.demote_index();
+                    }
+                });
+            }
+            self.runtime[s].plan_revisions += 1;
+        }
+    }
+
+    /// Snapshots the full live window of `stream` on shard `s`.
+    fn fetch_window_of(&mut self, s: usize, stream: usize) -> Vec<Tuple> {
+        if let Some(remote) = &mut self.remote {
+            return remote.fetch_window(s, stream as u64);
+        }
+        self.shard(s)
+            .window(StreamIndex(stream))
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Adopts `tuples` into shard `s`'s windows (each tuple lands in its
+    /// own stream's window), counting them as migrated.
+    fn adopt_into(&mut self, s: usize, tuples: &[Tuple]) {
+        self.runtime[s].migrated_tuples += tuples.len() as u64;
+        if let Some(remote) = &mut self.remote {
+            remote.adopt(s, tuples);
+            return;
+        }
+        self.with_shard_mut(s, |op| {
+            for t in tuples {
+                op.adopt(t.clone());
+            }
+        });
+    }
+
+    /// Drops every tuple of `stream` on shard `s` whose join key (in
+    /// `col`) no longer homes there — the local/remote-agnostic retain
+    /// pass of a pair switch.
+    fn retain_home_slice(&mut self, s: usize, stream: usize, col: usize, shards: usize) {
+        if let Some(remote) = &mut self.remote {
+            remote.retain(s, stream as u64, col as u64, shards as u64, s as u64);
+            return;
+        }
+        self.with_shard_mut(s, |op| {
+            op.evict_where(StreamIndex(stream), |t| {
+                join_key_hash(t.value(col)) % shards as u64 == s as u64
+            });
+        });
+    }
+
     /// Mutable access to one shard operator, wherever the backend keeps it.
     /// On the `Pool` backend this locks the worker's cell (the worker is
     /// idle at every call site: state surgery only happens at barriers).
@@ -1297,8 +1638,8 @@ impl JoinEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mswj_join::CommonKeyEquiJoin;
-    use mswj_types::{FieldType, Schema, StreamSet, Value};
+    use mswj_join::{CommonKeyEquiJoin, StarEquiJoin};
+    use mswj_types::{FieldType, Schema, StreamSet, StreamSpec, Value};
     use std::sync::Arc;
 
     fn equi_query(m: usize, window: u64) -> JoinQuery {
@@ -1821,5 +2162,213 @@ mod tests {
             Some(test_skew()),
         );
         assert!(!engine.skew_splitting_enabled());
+    }
+
+    /// Aggressive re-planning thresholds so small test workloads revise.
+    fn test_replan() -> ReplanConfig {
+        ReplanConfig {
+            min_probes: 64,
+            switch_ratio: 1.5,
+            demote_fallback_share: 0.5,
+            reorder_margin: 1.2,
+        }
+    }
+
+    /// 3-way star: anchor S1(a1, a2) joined with S2(a1) and S3(a2) — the
+    /// blind default partitions the (S1, S2) pair, broadcasting S3.
+    fn star_query(window: u64) -> JoinQuery {
+        let streams = StreamSet::new(vec![
+            StreamSpec::new(
+                "S1",
+                Schema::new(vec![("a1", FieldType::Int), ("a2", FieldType::Int)]),
+                window,
+            ),
+            StreamSpec::new("S2", Schema::new(vec![("a1", FieldType::Int)]), window),
+            StreamSpec::new("S3", Schema::new(vec![("a2", FieldType::Int)]), window),
+        ])
+        .unwrap();
+        let cond =
+            Arc::new(StarEquiJoin::new(&streams, 0, &[(1, "a1", "a1"), (2, "a2", "a2")]).unwrap());
+        JoinQuery::new("engine-star", streams, cond).unwrap()
+    }
+
+    fn replanned(query: JoinQuery, enumerate: bool, backend: ExecutionBackend) -> JoinEngine {
+        JoinEngine::try_with_policies(
+            query,
+            ProbeStrategy::Auto,
+            enumerate,
+            backend,
+            None,
+            Some(test_replan()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probe_reorder_fires_and_preserves_results() {
+        // Asymmetric 3-way arrival rates: stream 1 floods (large window, so
+        // probes *into* it are productive and probes *from* it are not),
+        // stream 0 trickles.  Per-stream match rates then order ascending
+        // as (1, 2, 0) — an inversion of the static (0, 1, 2) chain.
+        let mut tuples = Vec::new();
+        let mut seq = 0u64;
+        for round in 0..120u64 {
+            let ts = round * 4;
+            let mut push = |stream: usize, key: i64| {
+                tuples.push(tup(stream, seq, ts, key));
+                seq += 1;
+            };
+            push(1, (round % 2) as i64);
+            push(1, ((round + 1) % 2) as i64);
+            push(1, (round % 2) as i64);
+            push(2, (round % 2) as i64);
+            if round % 4 == 0 {
+                push(0, (round % 2) as i64);
+            }
+        }
+        let mut reference = JoinEngine::new(
+            equi_query(3, 400),
+            ProbeStrategy::Auto,
+            true,
+            ExecutionBackend::Sequential,
+        );
+        let (want_res, _, want_stats) = run_synced(&mut reference, &tuples, 100);
+        let mut engine = replanned(equi_query(3, 400), true, ExecutionBackend::Sequential);
+        assert!(engine.replanning_enabled());
+        let (res, _, stats) = run_synced(&mut engine, &tuples, 100);
+        assert_eq!(res, want_res, "a reorder is a pure access-path change");
+        assert_eq!(stats.results, want_stats.results);
+        assert_eq!(stats.in_order, want_stats.in_order);
+        let order = engine
+            .plan_transitions()
+            .iter()
+            .find_map(|t| match &t.action {
+                PlanAction::Reorder { order } => Some(order.clone()),
+                _ => None,
+            })
+            .expect("the inverted match rates must trigger a reorder");
+        assert_eq!(order[0], 1, "the flooded stream probes first: {order:?}");
+        assert_eq!(engine.shard(0).probe_order(), &order[..]);
+        assert!(engine.runtime_stats(0).plan_revisions >= 1);
+    }
+
+    #[test]
+    fn index_demotion_fires_on_fallback_heavy_workloads() {
+        // Float keys join numerically but defeat the hash index: every
+        // probe takes the nested-loop fallback, so maintaining the index
+        // is pure overhead and the re-planner drops it.
+        let ftup = |stream: usize, seq: u64, ts: u64, key: i64| {
+            Tuple::new(
+                stream.into(),
+                seq,
+                Timestamp::from_millis(ts),
+                vec![Value::Float(key as f64 + 0.5)],
+            )
+        };
+        let tuples: Vec<Tuple> = (0..300u64)
+            .map(|s| ftup((s % 2) as usize, s, s * 5, (s % 3) as i64))
+            .collect();
+        let (want_res, _, want_stats) = run(ExecutionBackend::Sequential, true, &tuples);
+        let mut engine = replanned(equi_query(2, 1_000), true, ExecutionBackend::Threads(3));
+        let (res, _, stats) = run_synced(&mut engine, &tuples, 100);
+        assert_eq!(res, want_res, "a demotion never changes the multiset");
+        assert_eq!(stats.results, want_stats.results);
+        assert_eq!(stats.fallback_probes, want_stats.fallback_probes);
+        assert!(
+            engine
+                .plan_transitions()
+                .iter()
+                .any(|t| t.action == PlanAction::DemoteIndex),
+            "an all-fallback window must demote: {:?}",
+            engine.plan_transitions()
+        );
+        for s in 0..engine.shard_count() {
+            assert!(engine.runtime_stats(s).plan_revisions >= 1, "shard {s}");
+        }
+        // One-way: a single demotion, never a second.
+        let demotions = engine
+            .plan_transitions()
+            .iter()
+            .filter(|t| t.action == PlanAction::DemoteIndex)
+            .count();
+        assert_eq!(demotions, 1);
+    }
+
+    #[test]
+    fn pair_switch_migrates_state_and_preserves_results() {
+        // The blind default partitions (S1, S2), broadcasting S3 — but
+        // stream 2 floods while stream 1 trickles, so every flood tuple is
+        // replicated to all shards.  Key-routing the flood and
+        // broadcasting the trickle is the right pairing; the switch
+        // re-keys the anchor from a1 to a2, exercising the full
+        // three-stream migration.
+        let mut tuples = Vec::new();
+        let mut seq = 0u64;
+        for round in 0..100u64 {
+            let ts = round * 4;
+            tuples.push(tup_star(0, seq, ts, (round % 8) as i64, (round % 6) as i64));
+            seq += 1;
+            if round % 4 == 0 {
+                tuples.push(tup(1, seq, ts, (round % 8) as i64));
+                seq += 1;
+            }
+            for burst in 0..4u64 {
+                tuples.push(tup(2, seq, ts, ((round + burst) % 6) as i64));
+                seq += 1;
+            }
+        }
+        fn tup_star(stream: usize, seq: u64, ts: u64, a1: i64, a2: i64) -> Tuple {
+            Tuple::new(
+                stream.into(),
+                seq,
+                Timestamp::from_millis(ts),
+                vec![Value::Int(a1), Value::Int(a2)],
+            )
+        }
+        let mut reference = JoinEngine::new(
+            star_query(240),
+            ProbeStrategy::Auto,
+            true,
+            ExecutionBackend::Sequential,
+        );
+        let (want_res, _, want_stats) = run_synced(&mut reference, &tuples, 100);
+        for backend in [
+            ExecutionBackend::Threads(4),
+            ExecutionBackend::Pool { workers: 4 },
+            ExecutionBackend::remote_inproc(4),
+        ] {
+            let mut engine = replanned(star_query(240), true, backend.clone());
+            assert_eq!(engine.star_partner(), Some(1), "blind default [{backend}]");
+            let epoch_before = engine.routing_epoch();
+            let (res, _, stats) = run_synced(&mut engine, &tuples, 100);
+            assert_eq!(
+                res, want_res,
+                "migrated state must keep the multiset [{backend}]"
+            );
+            assert_eq!(stats.results, want_stats.results, "{backend}");
+            assert_eq!(stats.in_order, want_stats.in_order, "{backend}");
+            assert_eq!(stats.expired, want_stats.expired, "{backend}");
+            assert_eq!(
+                engine.star_partner(),
+                Some(2),
+                "the pair must re-select the trickle satellite [{backend}]"
+            );
+            assert!(
+                engine
+                    .plan_transitions()
+                    .iter()
+                    .any(|t| matches!(t.action, PlanAction::PairSwitch { from: 1, to: 2 })),
+                "{backend}: {:?}",
+                engine.plan_transitions()
+            );
+            assert!(
+                engine.routing_epoch() > epoch_before,
+                "a pair switch must bump the routing epoch [{backend}]"
+            );
+            let migrated: u64 = (0..engine.shard_count())
+                .map(|s| engine.runtime_stats(s).migrated_tuples)
+                .sum();
+            assert!(migrated > 0, "window state must move [{backend}]");
+        }
     }
 }

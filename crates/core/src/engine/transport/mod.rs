@@ -261,10 +261,11 @@ mod tests {
     fn server_rejects_a_foreign_protocol_version() {
         let (mut client, server_end) = inproc::duplex();
         let handle = std::thread::spawn(move || serve_stream(server_end));
-        // A hand-built hello header claiming protocol version 2.
+        // A hand-built hello header claiming a protocol version one past ours.
+        let foreign = PROTOCOL_VERSION + 1;
         let mut raw = Vec::new();
         raw.extend_from_slice(b"MSWJ");
-        raw.extend_from_slice(&2u16.to_le_bytes());
+        raw.extend_from_slice(&foreign.to_le_bytes());
         raw.push(0x01); // hello
         raw.push(0);
         raw.extend_from_slice(&0u32.to_le_bytes());
@@ -273,17 +274,20 @@ mod tests {
         match framed.recv().unwrap() {
             Frame::Error { message } => {
                 assert!(message.contains("version mismatch"), "{message}");
-                assert!(message.contains("client sent 2"), "{message}");
+                assert!(
+                    message.contains(&format!("client sent {foreign}")),
+                    "{message}"
+                );
             }
             other => panic!("expected an error frame, got {other:?}"),
         }
-        assert!(matches!(
-            handle.join().unwrap(),
-            Err(WireError::VersionMismatch {
-                ours: PROTOCOL_VERSION,
-                theirs: 2
-            })
-        ));
+        match handle.join().unwrap() {
+            Err(WireError::VersionMismatch { ours, theirs }) => {
+                assert_eq!(ours, PROTOCOL_VERSION);
+                assert_eq!(theirs, foreign);
+            }
+            other => panic!("expected a version mismatch, got {other:?}"),
+        }
     }
 
     #[test]

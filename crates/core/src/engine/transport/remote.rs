@@ -289,6 +289,62 @@ impl RemoteShards {
         }
     }
 
+    /// Fetches the entire live window of one stream from `shard` — the
+    /// bulk counterpart of `fetch_class`, used when a plan revision moves
+    /// a whole stream between routing modes.
+    pub(in crate::engine) fn fetch_window(&mut self, shard: usize, stream: u64) -> Vec<Tuple> {
+        let link = self.link_mut(shard);
+        link.send(shard, &Frame::FetchWindow { stream });
+        match link.reply(shard) {
+            Frame::ClassData { tuples } => tuples,
+            other => link.unexpected(shard, "class-data", &other),
+        }
+    }
+
+    /// Keeps only the tuples of `stream` whose join-key hash (over
+    /// `column`) lands on shard `keep` of `shards` — the remote form of
+    /// the retain pass a pair switch runs on every local shard.
+    pub(in crate::engine) fn retain(
+        &mut self,
+        shard: usize,
+        stream: u64,
+        column: u64,
+        shards: u64,
+        keep: u64,
+    ) {
+        let link = self.link_mut(shard);
+        link.send(
+            shard,
+            &Frame::Retain {
+                stream,
+                column,
+                shards,
+                keep,
+            },
+        );
+        match link.reply(shard) {
+            Frame::Ack => {}
+            other => link.unexpected(shard, "ack", &other),
+        }
+    }
+
+    /// Applies a probe-plan revision (probe reorder and/or index demotion)
+    /// to `shard`'s operator.
+    pub(in crate::engine) fn revise(&mut self, shard: usize, order: &[usize], demote: bool) {
+        let link = self.link_mut(shard);
+        link.send(
+            shard,
+            &Frame::Revise {
+                order: order.to_vec(),
+                demote,
+            },
+        );
+        match link.reply(shard) {
+            Frame::Ack => {}
+            other => link.unexpected(shard, "ack", &other),
+        }
+    }
+
     /// Folds the link's transport counters into a shard's runtime stats.
     pub(in crate::engine) fn fold_runtime(&self, shard: usize, rt: &mut ShardRuntimeStats) {
         let link = self.link(shard);

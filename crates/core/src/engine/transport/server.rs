@@ -211,6 +211,64 @@ pub fn serve_stream<S: Read + Write>(stream: S) -> Result<(), WireError> {
                     return Ok(());
                 }
             }
+            Frame::FetchWindow { stream } => {
+                let reply = match (op.as_ref(), usize::try_from(stream)) {
+                    (Some(op), Ok(s)) => Frame::ClassData {
+                        tuples: op.window(StreamIndex(s)).iter().cloned().collect(),
+                    },
+                    (None, _) => Frame::Error {
+                        message: "fetch-window before setup".into(),
+                    },
+                    (_, Err(_)) => Frame::Error {
+                        message: format!("stream index {stream} overflows"),
+                    },
+                };
+                let terminal = matches!(reply, Frame::Error { .. });
+                framed.send(&reply)?;
+                if terminal {
+                    return Ok(());
+                }
+            }
+            Frame::Retain {
+                stream,
+                column,
+                shards,
+                keep,
+            } => {
+                let reply = match (op.as_mut(), stream_and_column(stream, column)) {
+                    (Some(_), _) if shards == 0 => Frame::Error {
+                        message: "retain with zero shards".into(),
+                    },
+                    (Some(op), Ok((s, c))) => {
+                        op.evict_where(s, |t| join_key_hash(t.value(c)) % shards == keep);
+                        Frame::Ack
+                    }
+                    (None, _) => Frame::Error {
+                        message: "retain before setup".into(),
+                    },
+                    (_, Err(message)) => Frame::Error { message },
+                };
+                let terminal = matches!(reply, Frame::Error { .. });
+                framed.send(&reply)?;
+                if terminal {
+                    return Ok(());
+                }
+            }
+            Frame::Revise { order, demote } => {
+                let Some(op) = op.as_mut() else {
+                    framed.send(&Frame::Error {
+                        message: "revise before setup".into(),
+                    })?;
+                    return Ok(());
+                };
+                if !order.is_empty() {
+                    op.set_probe_order(order);
+                }
+                if demote {
+                    op.demote_index();
+                }
+                framed.send(&Frame::Ack)?;
+            }
             Frame::Shutdown => {
                 framed.send(&Frame::ShutdownAck)?;
                 return Ok(());

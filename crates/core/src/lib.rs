@@ -78,8 +78,8 @@ pub use adaptation::{AdaptationOutcome, BufferSizeManager};
 pub use builder::SessionBuilder;
 pub use config::{DisorderConfig, ProbePlan, ProbeStrategy, SelectivityStrategy};
 pub use engine::{
-    Endpoint, EngineError, EngineEvent, ExecutionBackend, JoinEngine, ShardGuard,
-    ShardRuntimeStats, ShardStats, SkewConfig, SkewTransition,
+    Endpoint, EngineError, EngineEvent, ExecutionBackend, JoinEngine, PlanAction, PlanTransition,
+    ReplanConfig, ShardGuard, ShardRuntimeStats, ShardStats, SkewConfig, SkewTransition,
 };
 pub use kslack::{KSlack, KSlackStats};
 pub use model::{ModelInputs, RecallModel};

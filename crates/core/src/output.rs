@@ -27,7 +27,7 @@
 //! assert_eq!(advanced_to, Some(Timestamp::from_millis(1_500)));
 //! ```
 
-use crate::engine::{ShardStats, SkewTransition};
+use crate::engine::{PlanTransition, ShardStats, SkewTransition};
 use mswj_join::{JoinResult, OperatorStats};
 use mswj_types::{Duration, StreamIndex, Timestamp};
 
@@ -121,6 +121,10 @@ pub struct RunReport {
     /// detector took, in decision order; empty unless the session opted
     /// into `skew_splitting` (and the plan supports it).
     pub skew_transitions: Vec<SkewTransition>,
+    /// Every plan revision the join stage's runtime re-planner took (pair
+    /// switches, probe reorders, index demotions), in decision order;
+    /// empty unless the session opted into `runtime_replanning`.
+    pub plan_transitions: Vec<PlanTransition>,
 }
 
 impl RunReport {

@@ -54,7 +54,7 @@ use crate::adaptation::BufferSizeManager;
 use crate::builder::SessionBuilder;
 use crate::config::DisorderConfig;
 use crate::engine::ShardStats;
-use crate::engine::{EngineEvent, ExecutionBackend, JoinEngine, SkewConfig};
+use crate::engine::{EngineEvent, ExecutionBackend, JoinEngine, ReplanConfig, SkewConfig};
 use crate::kslack::KSlack;
 use crate::output::{Checkpoint, OutputEvent, RunReport};
 use crate::policy::{BufferPolicy, PdState};
@@ -138,6 +138,7 @@ impl Pipeline {
             ProbeStrategy::Auto,
             ExecutionBackend::Sequential,
             None,
+            None,
         )
     }
 
@@ -148,6 +149,7 @@ impl Pipeline {
         probe: ProbeStrategy,
         backend: ExecutionBackend,
         skew: Option<SkewConfig>,
+        replan: Option<ReplanConfig>,
     ) -> Result<Self> {
         let config: DisorderConfig = policy.config().copied().unwrap_or_default();
         config.validate()?;
@@ -160,7 +162,14 @@ impl Pipeline {
             BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
-        let engine = JoinEngine::try_with_skew(query.clone(), probe, materialize, backend, skew)?;
+        let engine = JoinEngine::try_with_policies(
+            query.clone(),
+            probe,
+            materialize,
+            backend,
+            skew,
+            replan,
+        )?;
         Ok(Pipeline {
             kslacks: (0..m).map(|_| KSlack::new(initial_k)).collect(),
             synchronizer: Synchronizer::new(m),
@@ -408,6 +417,7 @@ impl Pipeline {
             duration_ms: duration,
             avg_adaptation_nanos: avg_adapt,
             skew_transitions: self.engine.skew_transitions().to_vec(),
+            plan_transitions: self.engine.plan_transitions().to_vec(),
         }
     }
 

@@ -7,26 +7,31 @@
 
 use mswj_core::BufferPolicy;
 use mswj_experiments::{
-    all_datasets, backend_from_args, ground_truth, run_policy_on_backend, Scale,
+    all_datasets, backend_from_args, ground_truth, probe_from_args, run_policy_full, Scale,
 };
 use mswj_metrics::{format_table, TableRow};
 
 fn main() {
     let scale = Scale::from_args();
     let backend = backend_from_args();
+    let probe = probe_from_args();
     let period_p = 60_000;
     println!("Fig. 6 — recall over time of the No-K-slack baseline (P = 1 min)");
-    println!("scale: {:?}, backend: {}\n", scale, backend);
+    println!(
+        "scale: {:?}, backend: {}, probe: {:?}\n",
+        scale, backend, probe
+    );
 
     let mut summary = Vec::new();
     for dataset in all_datasets(scale) {
         let truth = ground_truth(&dataset);
-        let eval = run_policy_on_backend(
+        let eval = run_policy_full(
             &dataset,
             BufferPolicy::NoKSlack,
             period_p,
             &truth,
             backend.clone(),
+            probe,
         );
         println!("── {} / {} ──", dataset.name, dataset.query.name());
         let stride = (eval.recall.samples.len() / 20).max(1);

@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use mswj_core::{BufferPolicy, DisorderConfig, Endpoint, ExecutionBackend, RunReport};
+use mswj_core::{
+    BufferPolicy, DisorderConfig, Endpoint, ExecutionBackend, ProbeStrategy, RunReport,
+};
 use mswj_datasets::{Dataset, SoccerConfig, SoccerDataset, SyntheticConfig, SyntheticDataset};
 use mswj_metrics::{evaluate_recall, ground_truth_counts, CountSeries, RecallEvaluation};
 use mswj_types::Duration;
@@ -82,6 +84,10 @@ impl Scale {
              \x20                      (uds/tcp need running mswj-shardd\n\
              \x20                      servers; results are byte-identical\n\
              \x20                      across backends)\n\
+             \x20   --probe SPEC       probe strategy: auto (default,\n\
+             \x20                      planner-chosen indexed plan) or\n\
+             \x20                      nested-loop (exhaustive reference;\n\
+             \x20                      results are identical)\n\
              \x20   -h, --help         print this help and exit",
             d.duration_secs,
             d.seed,
@@ -155,6 +161,33 @@ pub fn parse_backend(spec: &str) -> Result<ExecutionBackend, String> {
     Err(format!(
         "unknown backend `{spec}` (expected seq, threads:N, pool:N, inproc:N, uds:…, tcp:…)"
     ))
+}
+
+/// Parses a `--probe` specification: `auto` (the planner picks the
+/// indexed probe plan) or `nested-loop` (the exhaustive reference path —
+/// identical results, no index maintenance).
+pub fn parse_probe(spec: &str) -> Result<ProbeStrategy, String> {
+    match spec {
+        "auto" => Ok(ProbeStrategy::Auto),
+        "nested-loop" => Ok(ProbeStrategy::NestedLoop),
+        _ => Err(format!(
+            "unknown probe strategy `{spec}` (expected auto or nested-loop)"
+        )),
+    }
+}
+
+/// Reads `--probe SPEC` from the process arguments (default: auto); a
+/// malformed spec prints the error plus usage and exits.
+pub fn probe_from_args() -> ProbeStrategy {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--probe") else {
+        return ProbeStrategy::Auto;
+    };
+    let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+    parse_probe(spec).unwrap_or_else(|e| {
+        eprintln!("{e}\n\n{}", Scale::usage());
+        std::process::exit(2);
+    })
 }
 
 /// Reads `--backend SPEC` from the process arguments (default:
@@ -252,10 +285,32 @@ pub fn run_policy_on_backend(
     truth: &CountSeries,
     backend: ExecutionBackend,
 ) -> PolicyEval {
+    run_policy_full(
+        dataset,
+        policy,
+        period_p,
+        truth,
+        backend,
+        ProbeStrategy::Auto,
+    )
+}
+
+/// Like [`run_policy_on_backend`], additionally forcing a probe strategy
+/// (`--probe` / [`probe_from_args`]).  `nested-loop` pins the exhaustive
+/// reference path; the measurements do not change.
+pub fn run_policy_full(
+    dataset: &Dataset,
+    policy: BufferPolicy,
+    period_p: Duration,
+    truth: &CountSeries,
+    backend: ExecutionBackend,
+    probe: ProbeStrategy,
+) -> PolicyEval {
     let mut pipeline = mswj_core::Pipeline::builder()
         .query(dataset.query.clone())
         .policy(policy)
         .parallelism(backend)
+        .probe(probe)
         .build()
         .expect("experiment configurations are valid");
     for event in dataset.log.iter() {
@@ -296,10 +351,48 @@ mod tests {
             "--seed",
             "--quick",
             "--backend",
+            "--probe",
             "--help",
         ] {
             assert!(usage.contains(flag), "usage text misses {flag}");
         }
+    }
+
+    #[test]
+    fn probe_specs_parse() {
+        assert_eq!(parse_probe("auto").unwrap(), ProbeStrategy::Auto);
+        assert_eq!(
+            parse_probe("nested-loop").unwrap(),
+            ProbeStrategy::NestedLoop
+        );
+        assert!(parse_probe("hash").is_err());
+        assert!(parse_probe("").is_err());
+    }
+
+    #[test]
+    fn forced_nested_loop_probes_agree_with_auto() {
+        let scale = Scale {
+            duration_secs: 15,
+            seed: 9,
+        };
+        let d2 = dataset_d2(scale);
+        let truth = ground_truth(&d2);
+        let period = 10_000;
+        let auto = run_policy_with_truth(&d2, BufferPolicy::FixedK(200), period, &truth);
+        let nested = run_policy_full(
+            &d2,
+            BufferPolicy::FixedK(200),
+            period,
+            &truth,
+            ExecutionBackend::Sequential,
+            ProbeStrategy::NestedLoop,
+        );
+        assert_eq!(auto.report.total_produced, nested.report.total_produced);
+        assert_eq!(auto.recall.overall_recall, nested.recall.overall_recall);
+        assert_eq!(
+            nested.report.operator_stats.indexed_probes, 0,
+            "a forced nested-loop run never touches an index"
+        );
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct MswjOperator {
     condition: Arc<dyn JoinCondition>,
     plan: ProbePlan,
     windows: Vec<Window>,
+    /// The order in which indexed probes visit the other streams' windows
+    /// (a permutation of `0..m`; own-stream entries are skipped per probe).
+    /// Stream order by default; runtime re-planning rotates low-match-rate
+    /// windows to the front so empty buckets short-circuit early.  Purely
+    /// an access-path choice: the produced result multiset is unaffected.
+    order: Vec<usize>,
     on_t: Timestamp,
     started: bool,
     enumerate: bool,
@@ -122,6 +128,7 @@ impl MswjOperator {
             condition,
             plan,
             windows,
+            order: (0..m).collect(),
             on_t: Timestamp::ZERO,
             started: false,
             enumerate,
@@ -137,6 +144,43 @@ impl MswjOperator {
     /// The probe access path planned from the condition's equi structure.
     pub fn probe_plan(&self) -> &ProbePlan {
         &self.plan
+    }
+
+    /// The order in which indexed probes visit the other streams' windows.
+    pub fn probe_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Re-orders the indexed probe chain: windows are visited in `order`
+    /// (a permutation of `0..m`), so placing low-match-rate streams first
+    /// lets empty buckets short-circuit a probe before the expensive
+    /// levels are touched.  The result multiset is unaffected — only the
+    /// access path (and the emission order within one probe) changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..m`.
+    pub fn set_probe_order(&mut self, order: Vec<usize>) {
+        let m = self.windows.len();
+        let mut seen = vec![false; m];
+        assert_eq!(order.len(), m, "probe order must cover every stream");
+        for &j in &order {
+            assert!(
+                j < m && !std::mem::replace(&mut seen[j], true),
+                "probe order must be a permutation of 0..{m}"
+            );
+        }
+        self.order = order;
+    }
+
+    /// Demotes every window's hash index to the nested-loop scan, for the
+    /// operator's lifetime (see [`Window::demote_index`]).  Runtime
+    /// re-planning applies this when the observed indexed-vs-fallback
+    /// ratio shows index maintenance stopped paying.
+    pub fn demote_index(&mut self) {
+        for w in &mut self.windows {
+            w.demote_index();
+        }
     }
 
     /// The maximum timestamp among tuples received so far (`onT`).
@@ -627,6 +671,123 @@ mod tests {
         let r = op.push(tup(0, 0, 50, 1));
         assert!(r.in_order);
         assert!(op.probe_plan().is_indexed());
+    }
+
+    #[test]
+    fn cross_size_saturates_instead_of_overflowing() {
+        // Regression: `n_x(e)` is the headline quality quantity, and with 8
+        // streams of 1 000 live tuples its cross-join size is 1000^7 = 10^21
+        // — far past u64::MAX.  The old unchecked `.product()` panicked in
+        // debug and wrapped in release; it must saturate.
+        let query = equi_query(8, 10_000);
+        let mut op = MswjOperator::new(query);
+        for stream in 1..8usize {
+            for s in 0..1_000u64 {
+                // `adopt` fills windows without probing, so building the
+                // state is O(n) instead of O(n^7).
+                op.adopt(tup(stream, s, s % 100, 0));
+            }
+        }
+        let r = op.push(tup(0, 0, 500, -1)); // absent key: no results
+        assert!(r.in_order);
+        assert_eq!(r.n_join, 0);
+        assert_eq!(
+            r.n_cross,
+            u64::MAX,
+            "an overflowing cross size must saturate"
+        );
+        assert_eq!(op.stats().cross_results, u64::MAX);
+        assert_eq!(op.stats().adopted, 7_000);
+    }
+
+    #[test]
+    fn probe_order_changes_access_path_not_results() {
+        let query = equi_query(3, 10_000);
+        let mut default_order = MswjOperator::enumerating(query.clone());
+        let mut reordered = MswjOperator::enumerating(query);
+        reordered.set_probe_order(vec![2, 0, 1]);
+        assert_eq!(reordered.probe_order(), &[2, 0, 1]);
+        for s in 0..60u64 {
+            let t = tup((s % 3) as usize, s, s * 7, (s % 4) as i64);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let ra = default_order.push_with(t.clone(), &mut |r| a.push(r.to_string()));
+            let rb = reordered.push_with(t, &mut |r| b.push(r.to_string()));
+            assert_eq!(ra.n_join, rb.n_join);
+            assert_eq!(ra.indexed, rb.indexed);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "probe order must not change the result multiset");
+        }
+        assert!(default_order.stats().results > 0);
+        assert_eq!(default_order.stats(), reordered.stats());
+    }
+
+    #[test]
+    fn star_probe_order_changes_access_path_not_results() {
+        let query = star_query();
+        let mut default_order = MswjOperator::enumerating(query.clone());
+        let mut reordered = MswjOperator::enumerating(query);
+        reordered.set_probe_order(vec![3, 1, 0, 2]);
+        for s in 0..80u64 {
+            let stream = (s % 4) as usize;
+            let t = if stream == 0 {
+                Tuple::new(
+                    0.into(),
+                    s,
+                    Timestamp::from_millis(s * 5),
+                    vec![
+                        Value::Int((s % 3) as i64),
+                        Value::Int((s % 2) as i64),
+                        Value::Int((s % 3) as i64),
+                    ],
+                )
+            } else {
+                tup(stream, s, s * 5, ((s * 7) % 3) as i64)
+            };
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            default_order.push_with(t.clone(), &mut |r| a.push(r.to_string()));
+            reordered.push_with(t, &mut |r| b.push(r.to_string()));
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+        assert!(default_order.stats().results > 0);
+        assert_eq!(default_order.stats(), reordered.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn probe_order_rejects_non_permutations() {
+        let mut op = MswjOperator::new(equi_query(3, 1_000));
+        op.set_probe_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn demote_index_falls_back_with_identical_results() {
+        let query = equi_query(2, 10_000);
+        let mut indexed = MswjOperator::enumerating(query.clone());
+        let mut demoted = MswjOperator::enumerating(query);
+        demoted.demote_index();
+        for s in 0..40u64 {
+            let t = tup((s % 2) as usize, s, s * 9, (s % 3) as i64);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let ra = indexed.push_with(t.clone(), &mut |r| a.push(r.to_string()));
+            let rb = demoted.push_with(t, &mut |r| b.push(r.to_string()));
+            assert_eq!(ra.n_join, rb.n_join);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "demotion must not change the result multiset");
+        }
+        assert!(indexed.stats().results > 0);
+        assert_eq!(indexed.stats().fallback_probes, 0);
+        assert_eq!(
+            demoted.stats().indexed_probes,
+            0,
+            "every probe scans after demotion"
+        );
     }
 
     #[test]

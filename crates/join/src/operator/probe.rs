@@ -48,7 +48,7 @@ impl MswjOperator {
             .enumerate()
             .filter(|(j, _)| *j != i)
             .map(|(_, w)| w.len() as u64)
-            .product()
+            .fold(1u64, u64::saturating_mul)
     }
 
     // ------------------------------------------------------------------
@@ -148,11 +148,11 @@ impl MswjOperator {
             ProbePlan::CommonKey { columns } => match self.common_key_gate(i, tuple, columns) {
                 Gate::Engage(key) => {
                     let mut product = 1u64;
-                    for (j, w) in self.windows.iter().enumerate() {
+                    for &j in &self.order {
                         if j == i {
                             continue;
                         }
-                        let c = w.count_key(columns[j], key);
+                        let c = self.windows[j].count_key(columns[j], key);
                         if c == 0 {
                             return (0, true);
                         }
@@ -176,7 +176,7 @@ impl MswjOperator {
                     match self.star_anchor_gate(*anchor, tuple, &cols) {
                         Gate::Engage(_) => {
                             let mut product = 1u64;
-                            for (j, w) in self.windows.iter().enumerate() {
+                            for &j in &self.order {
                                 if j == *anchor {
                                     continue;
                                 }
@@ -184,7 +184,7 @@ impl MswjOperator {
                                     .value(anchor_cols[j])
                                     .and_then(Value::as_int)
                                     .expect("gate guarantees integer pair keys");
-                                let c = w.count_key(other_cols[j], key);
+                                let c = self.windows[j].count_key(other_cols[j], key);
                                 if c == 0 {
                                     return (0, true);
                                 }
@@ -224,7 +224,7 @@ impl MswjOperator {
         let mut total = 0u64;
         'anchor: for a in anchor_bucket {
             let mut product = 1u64;
-            for (k, w) in self.windows.iter().enumerate() {
+            for &k in &self.order {
                 if k == anchor || k == i {
                     continue;
                 }
@@ -234,7 +234,7 @@ impl MswjOperator {
                     Some(v) => v,
                     None => continue 'anchor,
                 };
-                let c = w.count_key(cols.other_cols[k], key);
+                let c = self.windows[k].count_key(cols.other_cols[k], key);
                 if c == 0 {
                     continue 'anchor;
                 }
@@ -325,11 +325,11 @@ impl MswjOperator {
     ) {
         let m = self.windows.len();
         let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
-        for (j, w) in self.windows.iter().enumerate() {
+        for &j in &self.order {
             if j == i {
                 continue;
             }
-            match w.bucket(columns[j], key) {
+            match self.windows[j].bucket(columns[j], key) {
                 Some(bucket) => levels.push((j, bucket)),
                 None => return, // one empty bucket kills every combination
             }
@@ -347,7 +347,7 @@ impl MswjOperator {
     ) {
         let m = self.windows.len();
         let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
-        for (j, w) in self.windows.iter().enumerate() {
+        for &j in &self.order {
             if j == anchor {
                 continue;
             }
@@ -355,7 +355,7 @@ impl MswjOperator {
                 .value(cols.anchor_cols[j])
                 .and_then(Value::as_int)
                 .expect("gate guarantees integer pair keys");
-            match w.bucket(cols.other_cols[j], key) {
+            match self.windows[j].bucket(cols.other_cols[j], key) {
                 Some(bucket) => levels.push((j, bucket)),
                 None => return,
             }
@@ -381,7 +381,7 @@ impl MswjOperator {
         let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m.saturating_sub(2));
         'anchor: for a in anchor_bucket {
             levels.clear();
-            for (k, w) in self.windows.iter().enumerate() {
+            for &k in &self.order {
                 if k == anchor || k == i {
                     continue;
                 }
@@ -390,7 +390,7 @@ impl MswjOperator {
                     Some(v) => v,
                     None => continue 'anchor,
                 };
-                match w.bucket(cols.other_cols[k], key) {
+                match self.windows[k].bucket(cols.other_cols[k], key) {
                     Some(bucket) => levels.push((k, bucket)),
                     None => continue 'anchor,
                 }

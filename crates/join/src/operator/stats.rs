@@ -60,6 +60,15 @@ pub struct OperatorStats {
     pub cross_results: u64,
     /// Total expired tuples across all windows.
     pub expired: u64,
+    /// Tuples adopted into this operator's windows by state migration
+    /// (hot-key splits and partition-pair switches), as opposed to stream
+    /// ingestion — see [`MswjOperator::adopt`](super::MswjOperator::adopt).
+    pub adopted: u64,
+    /// Tuples surgically evicted from this operator's windows by state
+    /// migration (split reverts and partition-pair switches), as opposed to
+    /// window expiry — see
+    /// [`MswjOperator::evict_where`](super::MswjOperator::evict_where).
+    pub evicted: u64,
 }
 
 impl OperatorStats {
@@ -74,6 +83,8 @@ impl OperatorStats {
         self.results += other.results;
         self.cross_results += other.cross_results;
         self.expired += other.expired;
+        self.adopted += other.adopted;
+        self.evicted += other.evicted;
     }
 }
 
@@ -92,6 +103,8 @@ mod tests {
             results: 6,
             cross_results: 7,
             expired: 8,
+            adopted: 9,
+            evicted: 10,
         };
         let b = a;
         a.absorb(&b);
@@ -106,6 +119,8 @@ mod tests {
                 results: 12,
                 cross_results: 14,
                 expired: 16,
+                adopted: 18,
+                evicted: 20,
             }
         );
     }

@@ -146,6 +146,15 @@ impl RoutingTable {
         }
     }
 
+    /// Bumps the epoch without touching the split set — the marker for a
+    /// routing change that lives *outside* the table, such as a star
+    /// partition-pair switch rebuilding the [`Partitioner`] itself.  Any
+    /// in-flight work tagged with the old epoch is thereby invalidated, so
+    /// callers must only do this at a barrier.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// The currently split key classes, sorted ascending.
     pub fn split_classes(&self) -> &[u64] {
         &self.split
@@ -184,6 +193,37 @@ impl Partitioner {
     /// broadcast shard regardless of `requested`; `requested` is clamped to
     /// at least 1.
     pub fn new(plan: &ProbePlan, requested: usize) -> Self {
+        // Star plans default to the pair shared with the lowest-numbered
+        // satellite — the *blind* choice runtime re-planning may later
+        // revise towards the lowest observed-cardinality satellite.
+        Self::with_star_partner(plan, requested, Self::default_star_partner(plan))
+    }
+
+    /// The partition partner [`Partitioner::new`] picks for a star plan:
+    /// the lowest-numbered satellite.  `None` for non-star plans (and the
+    /// degenerate satellite-free star).
+    pub fn default_star_partner(plan: &ProbePlan) -> Option<usize> {
+        match plan {
+            ProbePlan::Star {
+                anchor,
+                anchor_cols,
+                ..
+            } => (0..anchor_cols.len()).find(|&j| j != *anchor),
+            _ => None,
+        }
+    }
+
+    /// Derives routing rules like [`Partitioner::new`], but partitions a
+    /// star plan on the pair shared with the given satellite `partner`
+    /// instead of the lowest-numbered one.  Runtime re-planning uses this
+    /// to move the partition pair to the lowest observed-cardinality
+    /// satellite; `partner` is ignored for non-star plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partner` names the anchor or an out-of-range stream of a
+    /// star plan.
+    pub fn with_star_partner(plan: &ProbePlan, requested: usize, partner: Option<usize>) -> Self {
         let requested = requested.max(1);
         let columns = match plan {
             ProbePlan::CommonKey { columns } => {
@@ -194,10 +234,13 @@ impl Partitioner {
                 anchor_cols,
                 other_cols,
             } => {
-                // Partition on the pair shared with the lowest-numbered
-                // satellite; everything else broadcasts.
-                let partner = (0..anchor_cols.len()).find(|&j| j != *anchor);
+                // Partition on the pair shared with `partner`; every other
+                // satellite broadcasts.
                 partner.map(|j0| {
+                    assert!(
+                        j0 != *anchor && j0 < anchor_cols.len(),
+                        "star partition partner must be a satellite stream"
+                    );
                     (0..anchor_cols.len())
                         .map(|j| {
                             if j == *anchor {
@@ -477,6 +520,44 @@ mod tests {
         );
         assert_eq!(p.route(&anchor), p.route(&tup(1, Value::Int(9))));
         assert_eq!(p.route(&tup(2, Value::Int(9))), Route::All);
+    }
+
+    #[test]
+    fn star_partner_can_be_re_selected() {
+        let plan = ProbePlan::Star {
+            anchor: 0,
+            anchor_cols: vec![0, 0, 1],
+            other_cols: vec![0, 0, 0],
+        };
+        assert_eq!(Partitioner::default_star_partner(&plan), Some(1));
+        let p = Partitioner::with_star_partner(&plan, 4, Some(2));
+        assert_eq!(p.column(0), Some(1), "anchor routes by the pair-2 column");
+        assert_eq!(p.column(1), None, "satellite 1 now broadcasts");
+        assert_eq!(p.column(2), Some(0), "satellite 2 routes by its column");
+        // The anchor and the new partner agree on equal keys.
+        let anchor = Tuple::new(
+            StreamIndex(0),
+            0,
+            Timestamp::ZERO,
+            vec![Value::Int(9), Value::Int(5)],
+        );
+        assert_eq!(p.route(&anchor), p.route(&tup(2, Value::Int(5))));
+        assert_eq!(p.route(&tup(1, Value::Int(5))), Route::All);
+        // The default partner reproduces `Partitioner::new` exactly.
+        assert_eq!(
+            Partitioner::with_star_partner(&plan, 4, Some(1)),
+            Partitioner::new(&plan, 4)
+        );
+    }
+
+    #[test]
+    fn bump_epoch_versions_external_routing_changes() {
+        let mut table = RoutingTable::new();
+        table.split(42);
+        assert_eq!(table.epoch(), 1);
+        table.bump_epoch();
+        assert_eq!(table.epoch(), 2, "a pair switch must version the table");
+        assert_eq!(table.split_classes(), &[42], "the split set is untouched");
     }
 
     #[test]

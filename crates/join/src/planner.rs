@@ -149,7 +149,9 @@ impl ProbePlan {
                 format!("hash-indexed common-key probe on columns {columns:?}")
             }
             ProbePlan::Star { anchor, .. } => {
-                format!("hash-indexed star probe anchored at stream {}", anchor + 1)
+                // 0-indexed, matching `shard_stats`, skew transitions and
+                // every error message.
+                format!("hash-indexed star probe anchored at stream {anchor}")
             }
             ProbePlan::NestedLoop => "nested-loop probe".to_owned(),
         }
@@ -197,6 +199,23 @@ mod tests {
         assert_eq!(plan.indexed_columns(1), vec![1]);
         assert_eq!(plan.indexed_columns(3), vec![0]);
         assert!(plan.describe().contains("star"));
+    }
+
+    #[test]
+    fn describe_numbers_streams_zero_indexed() {
+        // Stream numbering is 0-indexed everywhere a human can read it
+        // (shard stats, skew transitions, error messages); `describe` must
+        // follow the same convention.
+        let equi = EquiStructure::Star {
+            anchor: 0,
+            anchor_cols: vec![0, 1],
+            other_cols: vec![0, 0],
+        };
+        let plan = ProbePlan::new(ProbeStrategy::Auto, Some(&equi));
+        assert_eq!(
+            plan.describe(),
+            "hash-indexed star probe anchored at stream 0"
+        );
     }
 
     #[test]

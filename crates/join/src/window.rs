@@ -313,6 +313,20 @@ impl Window {
             .unwrap_or(false)
     }
 
+    /// Drops every hash index of this window permanently: subsequent probes
+    /// scan, and inserts/expiry skip index maintenance entirely.
+    ///
+    /// Used by runtime re-planning when the observed indexed-vs-fallback
+    /// ratio shows the index stopped paying (e.g. a persistently
+    /// float-polluted key column forces the nested-loop fallback anyway,
+    /// leaving the maintenance cost with no return).  The demotion is
+    /// one-way for the window's lifetime — re-promotion would require a
+    /// full index rebuild from live state.
+    pub fn demote_index(&mut self) {
+        self.index.clear();
+        self.index.shrink_to_fit();
+    }
+
     /// Removes every tuple (used when resetting an operator between runs).
     pub fn clear(&mut self) {
         self.tuples.clear();
@@ -576,6 +590,23 @@ mod tests {
         assert!(w.is_empty());
         assert_eq!(w.count_key(0, 7), 0, "no phantom tuple may survive");
         assert_eq!(w.matching(0, 7).count(), 0);
+    }
+
+    #[test]
+    fn demote_index_turns_the_window_into_a_scan() {
+        let mut w = Window::with_indexed_columns(1_000, &[0]);
+        w.insert(tup(0, 100, 7));
+        w.insert(tup(1, 200, 7));
+        assert!(w.is_indexed(0) && w.index_usable(0));
+        w.demote_index();
+        assert!(!w.is_indexed(0), "demotion drops the index");
+        assert!(!w.index_usable(0), "probes must fall back to the scan");
+        assert_eq!(w.count_key(0, 7), 2, "counting now scans, same answer");
+        // Maintenance paths are inert after demotion.
+        w.insert(tup(2, 300, 7));
+        assert_eq!(w.expire_before(Timestamp::from_millis(250)), 2);
+        assert_eq!(w.count_key(0, 7), 1);
+        assert_eq!(w.retain_where(|_| false), 1);
     }
 
     #[test]

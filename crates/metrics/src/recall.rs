@@ -169,6 +169,7 @@ mod tests {
             duration_ms: 10_000,
             avg_adaptation_nanos: 2_000_000.0,
             skew_transitions: Vec::new(),
+            plan_transitions: Vec::new(),
         }
     }
 

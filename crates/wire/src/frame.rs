@@ -27,7 +27,11 @@ use mswj_types::{FieldType, StreamIndex, Timestamp, Tuple};
 use std::io::{Read, Write};
 
 /// Protocol revision; bumped on any incompatible layout change.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2: `BarrierAck` stats grew the `adopted`/`evicted` migration counters,
+/// and the runtime re-planning frames (`FetchWindow`/`Retain`/`Revise`)
+/// joined the protocol.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame magic: the ASCII bytes `MSWJ`, read little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MSWJ");
@@ -54,6 +58,9 @@ const FT_ACK: u8 = 0x0D;
 const FT_ERROR: u8 = 0x0E;
 const FT_SHUTDOWN: u8 = 0x0F;
 const FT_SHUTDOWN_ACK: u8 = 0x10;
+const FT_FETCH_WINDOW: u8 = 0x11;
+const FT_RETAIN: u8 = 0x12;
+const FT_REVISE: u8 = 0x13;
 
 /// One routed tuple inside a [`WireTask`]: the front-end's staging sequence
 /// number, whether this shard should probe (vs. silently index), and the
@@ -194,7 +201,37 @@ pub enum Frame {
         /// `join_key_hash` of the class to evict.
         key_hash: u64,
     },
-    /// Generic acknowledgement for `Adopt`/`PurgeClass`.
+    /// Requests every live tuple of one stream's window (partition-pair
+    /// migration reads whole windows, not single key classes).  Replied to
+    /// with [`Frame::ClassData`].
+    FetchWindow {
+        /// Stream whose window is read.
+        stream: u64,
+    },
+    /// Keeps only the tuples of one stream's window whose routing key
+    /// hashes home to `keep` under `shards`-way partitioning; evicts the
+    /// rest.  The wire form of the engine's re-homing predicate
+    /// `join_key_hash(t.value(column)) % shards == keep`.
+    Retain {
+        /// Stream whose window is filtered.
+        stream: u64,
+        /// Column whose value is the routing key.
+        column: u64,
+        /// Modulus of the home-shard computation (the shard count).
+        shards: u64,
+        /// The home shard whose tuples survive.
+        keep: u64,
+    },
+    /// Applies a probe-plan revision to the remote operator: a probe-chain
+    /// reorder (empty = unchanged) and/or a hash-index demotion.
+    Revise {
+        /// New probe order (a permutation of `0..m`), or empty to keep the
+        /// current order.
+        order: Vec<usize>,
+        /// Whether to demote the hash index to the nested-loop scan.
+        demote: bool,
+    },
+    /// Generic acknowledgement for `Adopt`/`PurgeClass`/`Retain`/`Revise`.
     Ack,
     /// A remote failure — typically a panic caught in the shard worker.
     Error {
@@ -285,6 +322,8 @@ fn put_stats(buf: &mut Vec<u8>, s: &OperatorStats) {
     put_u64(buf, s.results);
     put_u64(buf, s.cross_results);
     put_u64(buf, s.expired);
+    put_u64(buf, s.adopted);
+    put_u64(buf, s.evicted);
 }
 
 fn get_stats(c: &mut Cursor<'_>) -> Result<OperatorStats, WireError> {
@@ -297,6 +336,8 @@ fn get_stats(c: &mut Cursor<'_>) -> Result<OperatorStats, WireError> {
         results: c.u64()?,
         cross_results: c.u64()?,
         expired: c.u64()?,
+        adopted: c.u64()?,
+        evicted: c.u64()?,
     })
 }
 
@@ -435,6 +476,9 @@ impl Frame {
             Frame::ClassData { .. } => FT_CLASS_DATA,
             Frame::Adopt { .. } => FT_ADOPT,
             Frame::PurgeClass { .. } => FT_PURGE_CLASS,
+            Frame::FetchWindow { .. } => FT_FETCH_WINDOW,
+            Frame::Retain { .. } => FT_RETAIN,
+            Frame::Revise { .. } => FT_REVISE,
             Frame::Ack => FT_ACK,
             Frame::Error { .. } => FT_ERROR,
             Frame::Shutdown => FT_SHUTDOWN,
@@ -512,6 +556,22 @@ impl Frame {
                 put_u64(buf, *key_hash);
             }
             Frame::ClassData { tuples } | Frame::Adopt { tuples } => put_tuples(buf, tuples),
+            Frame::FetchWindow { stream } => put_u64(buf, *stream),
+            Frame::Retain {
+                stream,
+                column,
+                shards,
+                keep,
+            } => {
+                put_u64(buf, *stream);
+                put_u64(buf, *column);
+                put_u64(buf, *shards);
+                put_u64(buf, *keep);
+            }
+            Frame::Revise { order, demote } => {
+                put_cols(buf, order);
+                put_bool(buf, *demote);
+            }
             Frame::Error { message } => put_str(buf, message),
         }
     }
@@ -625,6 +685,17 @@ impl Frame {
             },
             FT_ADOPT => Frame::Adopt {
                 tuples: get_tuples(&mut c)?,
+            },
+            FT_FETCH_WINDOW => Frame::FetchWindow { stream: c.u64()? },
+            FT_RETAIN => Frame::Retain {
+                stream: c.u64()?,
+                column: c.u64()?,
+                shards: c.u64()?,
+                keep: c.u64()?,
+            },
+            FT_REVISE => Frame::Revise {
+                order: get_cols(&mut c)?,
+                demote: c.bool()?,
             },
             FT_ERROR => Frame::Error { message: c.str()? },
             tag => return Err(WireError::Corrupt(format!("unknown frame type {tag:#04x}"))),

@@ -66,6 +66,8 @@ fn arb_stats(rng: &mut StdRng) -> OperatorStats {
         results: rng.gen(),
         cross_results: rng.gen(),
         expired: rng.gen(),
+        adopted: rng.gen(),
+        evicted: rng.gen(),
     }
 }
 
@@ -166,7 +168,7 @@ fn arb_output(rng: &mut StdRng) -> WireOutput {
 }
 
 fn arb_frame(rng: &mut StdRng) -> Frame {
-    match rng.gen_range(0usize..16) {
+    match rng.gen_range(0usize..19) {
         0 => Frame::Hello,
         1 => Frame::HelloAck,
         2 => Frame::Setup(arb_query(rng)),
@@ -203,6 +205,26 @@ fn arb_frame(rng: &mut StdRng) -> Frame {
             message: format!("panic #{}", rng.gen_range(0u64..1000)),
         },
         14 => Frame::Shutdown,
+        15 => Frame::FetchWindow {
+            stream: rng.gen_range(0u64..8),
+        },
+        16 => Frame::Retain {
+            stream: rng.gen_range(0u64..8),
+            column: rng.gen_range(0u64..8),
+            shards: rng.gen_range(1u64..16),
+            keep: rng.gen_range(0u64..16),
+        },
+        17 => {
+            let m = rng.gen_range(0usize..6);
+            let mut order: Vec<usize> = (0..m).collect();
+            for i in (1..m).rev() {
+                order.swap(i, rng.gen_range(0usize..i + 1));
+            }
+            Frame::Revise {
+                order,
+                demote: rng.gen(),
+            }
+        }
         _ => Frame::ShutdownAck,
     }
 }

@@ -71,8 +71,8 @@ pub mod prelude {
     pub use mswj_core::{
         sink_fn, BufferPolicy, Checkpoint, CollectSink, CountingSink, DisorderConfig, Endpoint,
         EngineError, ExecutionBackend, FnSink, JoinEngine, KSlack, NullSink, OutputEvent, Pipeline,
-        RunReport, SelectivityStrategy, SessionBuilder, ShardRuntimeStats, ShardStats, Sink,
-        SkewConfig, SkewTransition, Synchronizer,
+        PlanAction, PlanTransition, ReplanConfig, RunReport, SelectivityStrategy, SessionBuilder,
+        ShardRuntimeStats, ShardStats, Sink, SkewConfig, SkewTransition, Synchronizer,
     };
     pub use mswj_datasets::{
         q2_query, q3_query, q4_query, Dataset, SoccerConfig, SoccerDataset, SyntheticConfig,
