@@ -335,6 +335,11 @@ pub struct ShardRuntimeStats {
     /// Tuples adopted into this shard's windows by pair-switch state
     /// migration.
     pub migrated_tuples: u64,
+    /// Estimated live heap bytes of this shard's window state (segment
+    /// arenas, payload vectors and string bytes), sampled when the stats
+    /// were taken.  Zero on the `Remote` backend, whose window state lives
+    /// in the server process.
+    pub window_bytes: u64,
 }
 
 /// One shard's complete statistics: the shard operator's lifetime counters
@@ -687,12 +692,19 @@ impl JoinEngine {
     /// volume, queue depth, epoch counts, worker busy time).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         (0..self.shard_count())
-            .map(|s| ShardStats {
-                operator: match &self.remote {
-                    Some(remote) => remote.barrier_stats(s),
-                    None => self.shard(s).stats(),
-                },
-                runtime: self.runtime_stats(s),
+            .map(|s| {
+                let (operator, window_bytes) = match &self.remote {
+                    // Remote window state lives in the server process; its
+                    // memory is not visible (nor billed) on this side.
+                    Some(remote) => (remote.barrier_stats(s), 0),
+                    None => {
+                        let shard = self.shard(s);
+                        (shard.stats(), shard.window_bytes())
+                    }
+                };
+                let mut runtime = self.runtime_stats(s);
+                runtime.window_bytes = window_bytes;
+                ShardStats { operator, runtime }
             })
             .collect()
     }

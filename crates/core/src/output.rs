@@ -104,8 +104,9 @@ pub struct RunReport {
     /// Per-shard join-stage statistics (one entry per shard; a single entry
     /// on the `Sequential` backend): the shard operator's counters — whose
     /// `results` sum to [`RunReport::total_produced`] — plus the executor's
-    /// runtime counters (routed volume, queue high-water mark, epoch counts
-    /// and worker busy time on the parallel backends).
+    /// runtime counters (routed volume, queue high-water mark, epoch counts,
+    /// worker busy time on the parallel backends, and the shard's estimated
+    /// live window bytes at the end of the run).
     pub shard_stats: Vec<ShardStats>,
     /// Total number of join results produced.
     pub total_produced: u64,

@@ -40,4 +40,4 @@ pub use partition::{join_key_hash, Partitioner, Route, RoutingTable};
 pub use planner::{ProbePlan, ProbeStrategy};
 pub use query::JoinQuery;
 pub use result::JoinResult;
-pub use window::{Window, WindowStats};
+pub use window::{set_default_segment_capacity, Window, WindowStats};

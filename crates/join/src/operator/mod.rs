@@ -198,6 +198,12 @@ impl MswjOperator {
         self.stats
     }
 
+    /// Estimated heap bytes of all live window state held by this operator
+    /// (see [`crate::WindowStats::live_bytes_est`]).
+    pub fn window_bytes(&self) -> u64 {
+        self.windows.iter().map(|w| w.stats().live_bytes_est).sum()
+    }
+
     /// Whether the operator materializes result tuples.
     pub fn is_enumerating(&self) -> bool {
         self.enumerate

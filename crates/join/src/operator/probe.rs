@@ -12,9 +12,8 @@
 
 use super::MswjOperator;
 use crate::result::JoinResult;
-use crate::window::{classify, KeyClass};
+use crate::window::{classify, Bucket, KeyClass};
 use mswj_types::{Tuple, Value};
-use std::collections::VecDeque;
 
 /// Per-probe decision of the indexed access path.
 enum Gate {
@@ -218,11 +217,8 @@ impl MswjOperator {
         own_key: i64,
         cols: &StarCols<'_>,
     ) -> u64 {
-        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
-            return 0;
-        };
         let mut total = 0u64;
-        'anchor: for a in anchor_bucket {
+        'anchor: for a in self.windows[anchor].bucket_iter(cols.anchor_cols[i], own_key) {
             let mut product = 1u64;
             for &k in &self.order {
                 if k == anchor || k == i {
@@ -324,7 +320,7 @@ impl MswjOperator {
         f: &mut dyn FnMut(&[&'a Tuple]),
     ) {
         let m = self.windows.len();
-        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
+        let mut levels: Vec<(usize, Bucket<'a>)> = Vec::with_capacity(m - 1);
         for &j in &self.order {
             if j == i {
                 continue;
@@ -346,7 +342,7 @@ impl MswjOperator {
         f: &mut dyn FnMut(&[&'a Tuple]),
     ) {
         let m = self.windows.len();
-        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m - 1);
+        let mut levels: Vec<(usize, Bucket<'a>)> = Vec::with_capacity(m - 1);
         for &j in &self.order {
             if j == anchor {
                 continue;
@@ -373,13 +369,10 @@ impl MswjOperator {
         cols: &StarCols<'_>,
         f: &mut dyn FnMut(&[&'a Tuple]),
     ) {
-        let Some(anchor_bucket) = self.windows[anchor].bucket(cols.anchor_cols[i], own_key) else {
-            return;
-        };
         let m = self.windows.len();
         let mut slots: Vec<&Tuple> = vec![tuple; m];
-        let mut levels: Vec<(usize, &VecDeque<Tuple>)> = Vec::with_capacity(m.saturating_sub(2));
-        'anchor: for a in anchor_bucket {
+        let mut levels: Vec<(usize, Bucket<'a>)> = Vec::with_capacity(m.saturating_sub(2));
+        'anchor: for a in self.windows[anchor].bucket_iter(cols.anchor_cols[i], own_key) {
             levels.clear();
             for &k in &self.order {
                 if k == anchor || k == i {
@@ -432,10 +425,45 @@ impl MswjOperator {
             slots[j] = tuple;
             self.recurse(j + 1, probe, tuple, slots, f);
         } else {
-            for candidate in self.windows[j].iter() {
+            // Zone-map pruning: skip whole segments the plan's equi-join
+            // proves barren for this probing tuple.  Pruned tuples would
+            // fail `condition.matches` at the leaves anyway, so the emitted
+            // combinations (and their order) are unchanged.
+            let prune = self.prune_spec(probe, tuple, j);
+            for candidate in self.windows[j].iter_pruned(prune) {
                 slots[j] = candidate;
                 self.recurse(j + 1, probe, tuple, slots, f);
             }
+        }
+    }
+
+    /// The `(column, probe key)` pair the plan's equi-join imposes on
+    /// window `j` when stream `probe` contributes `tuple` — the zone-map
+    /// prune spec for the fallback scan.  `None` when the plan ties the two
+    /// streams by no direct equality (nested-loop plans, star pairs not
+    /// involving the anchor): those scans stay exhaustive.
+    fn prune_spec<'a>(
+        &self,
+        probe: usize,
+        tuple: &'a Tuple,
+        j: usize,
+    ) -> Option<(usize, &'a Value)> {
+        match &self.plan {
+            ProbePlan::CommonKey { columns } => Some((columns[j], tuple.value(columns[probe])?)),
+            ProbePlan::Star {
+                anchor,
+                anchor_cols,
+                other_cols,
+            } => {
+                if probe == *anchor {
+                    Some((other_cols[j], tuple.value(anchor_cols[j])?))
+                } else if j == *anchor {
+                    Some((anchor_cols[probe], tuple.value(other_cols[probe])?))
+                } else {
+                    None
+                }
+            }
+            ProbePlan::NestedLoop => None,
         }
     }
 
@@ -462,15 +490,15 @@ impl MswjOperator {
 /// gates guarantee every combination reached here satisfies the equi-join,
 /// so the condition is not re-evaluated.
 fn emit_product<'a>(
-    levels: &[(usize, &'a VecDeque<Tuple>)],
+    levels: &[(usize, Bucket<'a>)],
     slots: &mut Vec<&'a Tuple>,
     f: &mut dyn FnMut(&[&'a Tuple]),
 ) {
     match levels.split_first() {
         None => f(slots),
-        Some((&(j, bucket), rest)) => {
-            for t in bucket {
-                slots[j] = t;
+        Some(((j, bucket), rest)) => {
+            for t in bucket.iter() {
+                slots[*j] = t;
                 emit_product(rest, slots, f);
             }
         }

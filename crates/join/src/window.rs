@@ -1,22 +1,42 @@
-//! Time-based sliding windows over one input stream.
+//! Time-based sliding windows over one input stream, stored as
+//! timestamp-ordered columnar segments.
 //!
 //! Each input stream `S_i` of an MSWJ carries a user-specified, time-based
 //! sliding window of `W_i` milliseconds (Sec. II-A).  The window holds the
 //! tuples whose timestamps are still within scope, supports expiration
 //! driven by the timestamp of a newly processed tuple (Alg. 2, line 6) and
-//! maintains, per indexed column, a **value→tuple hash index**: one bucket
-//! of live tuples per distinct integer key, kept incrementally under
-//! out-of-order inserts and expiration.  The index serves two purposes:
+//! maintains, per indexed column, a **value→row hash index**.
 //!
-//! * equi-join result *counts* are bucket-length products instead of
-//!   enumerations, and
-//! * the operator's indexed probe path (see
-//!   [`planner`](crate::planner)) enumerates only the matching bucket of
-//!   every other window instead of scanning it.
+//! ## Segmented storage
+//!
+//! Live state is a deque of `Segment`s covering disjoint, ascending
+//! timestamp ranges.  A segment owns a row arena (`rows`), the
+//! timestamp-ordered ids of its live rows (`order`), and — per indexed
+//! column — a posting map (`key → live row ids`) plus a `ColZone` summary
+//! (numeric min/max of the column's values and live counts of the value
+//! classes a hash bucket cannot represent).  The back segment is the
+//! mutable *tail*: it absorbs in-order appends and slightly-late
+//! out-of-order inserts, and seals once its arena reaches the segment
+//! capacity.  Older segments only ever *lose* rows.
+//!
+//! The layout buys three things:
+//!
+//! * **Segment-drop expiry.**  `expire_before` drops whole leading segments
+//!   whose maximum live timestamp is out of scope — O(distinct keys) per
+//!   segment instead of a per-tuple bucket scan — and walks rows only in
+//!   the single boundary segment, where the posting fronts align with the
+//!   expiry order and pop in O(1).  Dropped segments park their buffers in
+//!   a one-slot spare so steady-state seal/drop cycles do not allocate.
+//! * **Zone-map pruning.**  Fallback scans ([`Window::scan_candidates`])
+//!   skip whole segments whose zone map proves no live row can satisfy
+//!   `join_eq` against the probe key — see *Pruning soundness* below.
+//! * **Single-copy state.**  Postings hold row ids, not tuple clones, so
+//!   indexed window state exists exactly once ([`Tuple::payload_refs`]
+//!   observes this).
 //!
 //! ## Index soundness
 //!
-//! Buckets are keyed by `i64`, so only [`Value::Int`] attributes are
+//! Postings are keyed by `i64`, so only [`Value::Int`] attributes are
 //! hashable.  [`Value::join_eq`] additionally equates integers with floats
 //! numerically (`Int(4) == Float(4.0)`), which a hash lookup cannot see —
 //! so every index tracks, per column, the number of live tuples whose value
@@ -24,12 +44,99 @@
 //! The probe planner consults [`Window::index_usable`] and falls back to
 //! the exhaustive scan whenever that count is non-zero.  `Null` and missing
 //! values never satisfy `join_eq` at all; they are simply left out of the
-//! buckets without compromising soundness.
+//! postings without compromising soundness.
+//!
+//! ## Pruning soundness
+//!
+//! `join_eq` compares numbers by their `f64` image: `Int`/`Int` equality
+//! implies equal images, and mixed or float comparisons *are* image
+//! equality.  Every chain of `join_eq` equalities therefore preserves the
+//! image, so a segment whose zone bounds exclude the probe key's image —
+//! and which holds no live strings or booleans (the only classes that join
+//! outside the numeric image) — cannot contribute a row to any matching
+//! combination.  Bounds only ever widen (expiry leaves them stale-wide),
+//! which keeps the zone an over-approximation: pruning can only skip
+//! provably barren segments, never a joinable row.
 
 use mswj_types::{Duration, Timestamp, Tuple, Value};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Aggregate statistics about a window's lifetime behaviour.
+/// Fibonacci-multiply hasher for the `i64`-keyed index maps.
+///
+/// Postings and key counts are touched once or twice per tuple on the
+/// insert and expiry hot paths; the default SipHash costs more than the
+/// rest of the maintenance combined.  Join keys are data, not
+/// attacker-chosen hash-flood inputs, so the non-keyed multiply hash is an
+/// acceptable trade — the same one interning tables in production query
+/// engines make.
+#[derive(Default)]
+struct KeyHasher {
+    hash: u64,
+}
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Golden-ratio multiply with a pre-rotation so low-entropy high
+        // bits still disperse across the table index bits.
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// An `i64`-keyed map using [`KeyHasher`].
+type KeyMap<V> = HashMap<i64, V, BuildHasherDefault<KeyHasher>>;
+
+/// Rows a tail segment's arena absorbs before it seals.
+const DEFAULT_SEGMENT_CAPACITY: usize = 1024;
+
+/// Process-wide default segment capacity; 0 until first resolved.
+static SEGMENT_CAPACITY: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolves the default segment capacity: an explicit
+/// [`set_default_segment_capacity`] call wins, then the
+/// `MSWJ_SEGMENT_CAPACITY` environment variable, then
+/// [`DEFAULT_SEGMENT_CAPACITY`].
+fn default_segment_capacity() -> usize {
+    let cap = SEGMENT_CAPACITY.load(Ordering::Relaxed);
+    if cap != 0 {
+        return cap;
+    }
+    let cap = std::env::var("MSWJ_SEGMENT_CAPACITY")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&c| c >= 2)
+        .unwrap_or(DEFAULT_SEGMENT_CAPACITY);
+    SEGMENT_CAPACITY.store(cap, Ordering::Relaxed);
+    cap
+}
+
+/// Overrides the segment capacity used by every subsequently created
+/// [`Window`] (process-wide).  The differential harness forces tiny
+/// capacities to exercise seal/drop boundaries on ordinary workloads;
+/// values below 2 are rejected because a tail must be able to hold a tuple
+/// and still accept a late sibling.
+pub fn set_default_segment_capacity(capacity: usize) {
+    assert!(capacity >= 2, "segment capacity must be at least 2");
+    SEGMENT_CAPACITY.store(capacity, Ordering::Relaxed);
+}
+
+/// Aggregate statistics about a window's lifetime behaviour, plus a
+/// snapshot of its current storage shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WindowStats {
     /// Total number of tuples ever inserted.
@@ -41,18 +148,14 @@ pub struct WindowStats {
     pub unordered_inserts: u64,
     /// Largest number of tuples simultaneously held.
     pub peak_len: usize,
-}
-
-/// The hash index of one column: live tuples grouped by integer key, plus
-/// the count of live values the index cannot represent.
-#[derive(Debug, Clone, Default)]
-struct KeyIndex {
-    /// key value → live tuples carrying it, in timestamp order.
-    buckets: HashMap<i64, VecDeque<Tuple>>,
-    /// Live tuples whose value in this column is a float, string or bool:
-    /// such values can satisfy `join_eq` without being bucket-addressable,
-    /// so any non-zero count disables the indexed probe path.
-    unindexable: u64,
+    /// Estimated heap bytes of the currently live tuples (tuple headers
+    /// plus payload vectors and string bytes).  Payloads shared with other
+    /// holders via `Arc` are counted in full — an upper-bound estimate.
+    pub live_bytes_est: u64,
+    /// Number of storage segments currently held.
+    pub segments: usize,
+    /// Segments no longer accepting in-order appends (all but the tail).
+    pub sealed_segments: usize,
 }
 
 /// Classification of one attribute value with respect to the hash index.
@@ -77,12 +180,249 @@ pub(crate) fn classify(v: Option<&Value>) -> KeyClass {
     }
 }
 
+/// Estimated heap bytes of one tuple: the header, the payload vector and
+/// any owned string bytes.  Shared (`Arc`) payloads are counted in full.
+fn estimated_bytes(t: &Tuple) -> u64 {
+    let strings: usize = t
+        .values()
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        })
+        .sum();
+    (std::mem::size_of::<Tuple>()
+        + std::mem::size_of::<Vec<Value>>()
+        + std::mem::size_of_val(t.values())
+        + strings) as u64
+}
+
+/// Zone summary of one indexed column within one segment.
+#[derive(Debug, Clone)]
+struct ColZone {
+    /// Smallest `f64` image of any non-NaN numeric value ever inserted
+    /// (never shrinks on expiry — a sound over-approximation).
+    num_lo: f64,
+    /// Largest such image.
+    num_hi: f64,
+    /// Live strings and booleans: values that join outside the numeric
+    /// image, so any non-zero count disables numeric pruning.
+    str_bool: u64,
+    /// Live floats, strings and booleans: the segment's contribution to
+    /// [`Window::unindexable_count`].
+    unindexable: u64,
+}
+
+impl Default for ColZone {
+    fn default() -> Self {
+        ColZone {
+            num_lo: f64::INFINITY,
+            num_hi: f64::NEG_INFINITY,
+            str_bool: 0,
+            unindexable: 0,
+        }
+    }
+}
+
+impl ColZone {
+    fn widen(&mut self, v: f64) {
+        if v < self.num_lo {
+            self.num_lo = v;
+        }
+        if v > self.num_hi {
+            self.num_hi = v;
+        }
+    }
+}
+
+/// One timestamp-contiguous storage segment.
+///
+/// `rows` is an append-only arena; expiry removes ids from `order` and the
+/// postings but leaves the arena untouched until the whole segment is
+/// dropped (or rebuilt by [`Window::retain_where`]), so the hot paths never
+/// shift rows.
+#[derive(Debug, Clone, Default)]
+struct Segment {
+    /// Row arena: every tuple ever inserted here, live and expired alike.
+    rows: Vec<Tuple>,
+    /// Timestamp-ordered (ties insertion-ordered) ids of the live rows.
+    order: VecDeque<u32>,
+    /// Per indexed column (parallel to `Window::cols`):
+    /// key → live row ids, in the same timestamp order as `order`.
+    postings: Vec<KeyMap<VecDeque<u32>>>,
+    /// Per indexed column zone summary.
+    zones: Vec<ColZone>,
+    /// Estimated heap bytes of the live rows.
+    live_bytes: u64,
+}
+
+/// Inserts `rid` into a timestamp-ordered id deque, searching from the back
+/// (late tuples are usually only a little late); ties keep insertion order.
+fn ordered_insert(ids: &mut VecDeque<u32>, rows: &[Tuple], rid: u32, ts: Timestamp) {
+    let mut pos = ids.len();
+    while pos > 0 && rows[ids[pos - 1] as usize].ts > ts {
+        pos -= 1;
+    }
+    if pos == ids.len() {
+        ids.push_back(rid);
+    } else {
+        ids.insert(pos, rid);
+    }
+}
+
+impl Segment {
+    fn with_cols(n: usize) -> Self {
+        Segment {
+            rows: Vec::new(),
+            order: VecDeque::new(),
+            postings: vec![KeyMap::default(); n],
+            zones: vec![ColZone::default(); n],
+            live_bytes: 0,
+        }
+    }
+
+    fn live_len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Smallest live timestamp.
+    fn min_ts(&self) -> Option<Timestamp> {
+        self.order.front().map(|&r| self.rows[r as usize].ts)
+    }
+
+    /// Largest live timestamp.
+    fn max_ts(&self) -> Option<Timestamp> {
+        self.order.back().map(|&r| self.rows[r as usize].ts)
+    }
+
+    /// Live rows in timestamp order.
+    fn live(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.order.iter().map(move |&r| &self.rows[r as usize])
+    }
+
+    /// Live rows of one posting, in timestamp order.
+    fn posting_tuples(&self, ci: usize, key: i64) -> impl Iterator<Item = &Tuple> + '_ {
+        self.postings[ci]
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .map(move |&rid| &self.rows[rid as usize])
+    }
+
+    /// Appends a row to the arena, maintaining order, postings, zones and
+    /// the window-level live aggregates.
+    fn insert(
+        &mut self,
+        cols: &[usize],
+        counts: &mut [KeyMap<u64>],
+        unindexable: &mut [u64],
+        tuple: Tuple,
+    ) {
+        let rid = u32::try_from(self.rows.len()).expect("segment row id overflow");
+        for (ci, &col) in cols.iter().enumerate() {
+            match classify(tuple.value(col)) {
+                KeyClass::Key(key) => {
+                    ordered_insert(
+                        self.postings[ci].entry(key).or_default(),
+                        &self.rows,
+                        rid,
+                        tuple.ts,
+                    );
+                    self.zones[ci].widen(key as f64);
+                    *counts[ci].entry(key).or_insert(0) += 1;
+                }
+                KeyClass::Inert => {}
+                KeyClass::Unindexable => {
+                    let z = &mut self.zones[ci];
+                    z.unindexable += 1;
+                    unindexable[ci] += 1;
+                    match tuple.value(col) {
+                        Some(Value::Float(f)) => {
+                            if !f.is_nan() {
+                                z.widen(*f);
+                            }
+                        }
+                        Some(Value::Str(_) | Value::Bool(_)) => z.str_bool += 1,
+                        _ => debug_assert!(false, "unindexable is float, string or bool"),
+                    }
+                }
+            }
+        }
+        let mut pos = self.order.len();
+        while pos > 0 && self.rows[self.order[pos - 1] as usize].ts > tuple.ts {
+            pos -= 1;
+        }
+        self.live_bytes += estimated_bytes(&tuple);
+        self.rows.push(tuple);
+        if pos == self.order.len() {
+            self.order.push_back(rid);
+        } else {
+            self.order.insert(pos, rid);
+        }
+    }
+
+    /// Empties the segment, retaining every buffer's capacity (the spare
+    /// slot recycles segments through this).
+    fn reset(&mut self) {
+        self.rows.clear();
+        self.order.clear();
+        for m in &mut self.postings {
+            m.clear();
+        }
+        for z in &mut self.zones {
+            *z = ColZone::default();
+        }
+        self.live_bytes = 0;
+    }
+
+    /// Whether the zone map proves no live row's value in indexed column
+    /// `ci` can reach `key` through any chain of `join_eq` equalities (see
+    /// *Pruning soundness* in the module docs).
+    fn zone_prunes(&self, ci: usize, key: &Value) -> bool {
+        let z = &self.zones[ci];
+        match key {
+            Value::Int(i) => {
+                let k = *i as f64;
+                z.str_bool == 0 && (k < z.num_lo || k > z.num_hi)
+            }
+            Value::Float(f) => {
+                // NaN joins nothing under join_eq (NaN != NaN).
+                f.is_nan() || (z.str_bool == 0 && (*f < z.num_lo || *f > z.num_hi))
+            }
+            // Strings and booleans only ever join their own kind.
+            Value::Str(_) | Value::Bool(_) => z.str_bool == 0,
+            // A Null probe key never reaches a scan (the gates short-circuit
+            // it), but stay conservative if it does.
+            Value::Null => false,
+        }
+    }
+}
+
+/// A hash bucket resolved to per-segment arena slices: cheaply re-iterable,
+/// which the indexed enumeration's cross-product walk needs — without
+/// cloning a single tuple.
+pub(crate) struct Bucket<'a> {
+    /// `(row arena, live ids)` per segment with a non-empty posting, in
+    /// segment (= timestamp) order.
+    parts: Vec<(&'a [Tuple], &'a VecDeque<u32>)>,
+}
+
+impl<'a> Bucket<'a> {
+    /// The bucket's live tuples in timestamp order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &'a Tuple> + '_ {
+        self.parts
+            .iter()
+            .flat_map(|(rows, ids)| ids.iter().map(move |&rid| &rows[rid as usize]))
+    }
+}
+
 /// A time-based sliding window holding the live tuples of one stream.
 ///
-/// Tuples are kept ordered by timestamp (ties broken by insertion order) so
-/// that expiration is a pop-from-the-front operation in the common case.
-/// Optionally, integer columns can be indexed; the index maintains, for each
-/// distinct value, the bucket of live tuples carrying it.
+/// Tuples are kept ordered by timestamp (ties broken by insertion order)
+/// across a deque of columnar segments, so that expiration drops whole
+/// segments in the common case.  Optionally, integer columns can be
+/// indexed; the index maintains, for each distinct value, the row ids of
+/// the live tuples carrying it.
 ///
 /// # Examples
 ///
@@ -101,31 +441,61 @@ pub(crate) fn classify(v: Option<&Value>) -> KeyClass {
 #[derive(Debug, Clone)]
 pub struct Window {
     size: Duration,
-    tuples: VecDeque<Tuple>,
-    /// column position -> hash index of that column's live values.
-    index: HashMap<usize, KeyIndex>,
-    stats: WindowStats,
+    /// Arena rows a tail segment absorbs before sealing.
+    capacity: usize,
+    /// Indexed column positions (sorted, deduped); emptied permanently by
+    /// [`Window::demote_index`].
+    cols: Vec<usize>,
+    /// Storage segments in ascending, disjoint timestamp ranges; the back
+    /// one is the mutable tail.  Every present segment has live rows.
+    segments: VecDeque<Segment>,
+    /// Total live rows across all segments.
+    len: usize,
+    /// Per indexed column: live count per key across all segments — keeps
+    /// [`Window::count_key`] O(1).
+    counts: Vec<KeyMap<u64>>,
+    /// Per indexed column: live unindexable count across all segments.
+    unindexable: Vec<u64>,
+    /// One recycled segment: dropped segments park their buffers here so
+    /// steady-state seal/drop cycles do not allocate.
+    spare: Option<Box<Segment>>,
+    /// Lifetime counters (the live-shape fields stay zero here and are
+    /// filled by [`Window::stats`]).
+    counters: WindowStats,
 }
 
 impl Window {
     /// Creates a window of `size` milliseconds with no indexed columns.
     pub fn new(size: Duration) -> Self {
-        Window {
-            size,
-            tuples: VecDeque::new(),
-            index: HashMap::new(),
-            stats: WindowStats::default(),
-        }
+        Self::with_segment_capacity(size, &[], default_segment_capacity())
     }
 
-    /// Creates a window that maintains value→tuple hash indexes on the
-    /// given integer column positions.
+    /// Creates a window that maintains value→row hash indexes on the given
+    /// integer column positions.
     pub fn with_indexed_columns(size: Duration, columns: &[usize]) -> Self {
-        let mut w = Window::new(size);
-        for &c in columns {
-            w.index.entry(c).or_default();
+        Self::with_segment_capacity(size, columns, default_segment_capacity())
+    }
+
+    /// Creates a window with an explicit segment capacity (the number of
+    /// arena rows a tail segment absorbs before sealing).  Capacities below
+    /// 2 are clamped.  The storage layout is an access-path choice only:
+    /// any two capacities yield identical window content.
+    pub fn with_segment_capacity(size: Duration, columns: &[usize], capacity: usize) -> Self {
+        let mut cols = columns.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        let n = cols.len();
+        Window {
+            size,
+            capacity: capacity.max(2),
+            cols,
+            segments: VecDeque::new(),
+            len: 0,
+            counts: vec![KeyMap::default(); n],
+            unindexable: vec![0; n],
+            spare: None,
+            counters: WindowStats::default(),
         }
-        w
     }
 
     /// The window size `W_i` in milliseconds.
@@ -135,171 +505,410 @@ impl Window {
 
     /// Number of live tuples `|S_i[W_i]|`.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// `true` when the window holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
-    /// Lifetime statistics.
+    /// Lifetime statistics plus the current storage shape.
     pub fn stats(&self) -> WindowStats {
-        self.stats
+        WindowStats {
+            live_bytes_est: self.segments.iter().map(|s| s.live_bytes).sum(),
+            segments: self.segments.len(),
+            sealed_segments: self.segments.len().saturating_sub(1),
+            ..self.counters
+        }
     }
 
     /// Iterates over live tuples in timestamp order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+        self.segments.iter().flat_map(Segment::live)
     }
 
     /// The smallest timestamp currently held, if any.
     pub fn min_ts(&self) -> Option<Timestamp> {
-        self.tuples.front().map(|t| t.ts)
+        self.segments.front().and_then(Segment::min_ts)
     }
 
     /// The largest timestamp currently held, if any.
     pub fn max_ts(&self) -> Option<Timestamp> {
-        self.tuples.back().map(|t| t.ts)
+        self.segments.back().and_then(Segment::max_ts)
+    }
+
+    /// A segment to start a new tail with: the spare if one is parked.
+    fn fresh_segment(&mut self) -> Segment {
+        match self.spare.take() {
+            Some(seg) => *seg,
+            None => Segment::with_cols(self.cols.len()),
+        }
+    }
+
+    /// Parks a dropped segment's buffers for reuse (one-slot).
+    fn recycle(&mut self, mut seg: Segment) {
+        if self.spare.is_none() {
+            seg.reset();
+            self.spare = Some(Box::new(seg));
+        }
+    }
+
+    /// The segment `ts` belongs in — the last one whose live minimum does
+    /// not exceed `ts` (so a timestamp tie lands *after* every earlier
+    /// sibling, preserving insertion order), clamped to the front segment
+    /// for tuples older than everything.  `None` when a new tail segment
+    /// must be started instead: the window is empty, or the tuple extends a
+    /// full tail at (or past) its live maximum.
+    fn target_segment(&self, ts: Timestamp) -> Option<usize> {
+        let last = self.segments.len().checked_sub(1)?;
+        let pick = self
+            .segments
+            .iter()
+            .rposition(|seg| seg.min_ts().map(|m| m <= ts).unwrap_or(false));
+        match pick {
+            None => Some(0),
+            Some(k) if k == last => {
+                let tail = &self.segments[last];
+                let extends = tail.max_ts().map(|m| ts >= m).unwrap_or(true);
+                if extends && tail.rows.len() >= self.capacity {
+                    None // seal: start a new tail
+                } else {
+                    Some(k)
+                }
+            }
+            Some(k) => Some(k),
+        }
     }
 
     /// Inserts a tuple, keeping the content ordered by timestamp.
     pub fn insert(&mut self, tuple: Tuple) {
-        for (&col, index) in self.index.iter_mut() {
-            match classify(tuple.value(col)) {
-                KeyClass::Key(key) => {
-                    bucket_insert(index.buckets.entry(key).or_default(), tuple.clone())
-                }
-                KeyClass::Unindexable => index.unindexable += 1,
-                KeyClass::Inert => {}
+        if let Some(max) = self.max_ts() {
+            if tuple.ts < max {
+                self.counters.unordered_inserts += 1;
             }
         }
-        let in_order = self
-            .tuples
-            .back()
-            .map(|last| last.ts <= tuple.ts)
-            .unwrap_or(true);
-        if in_order {
-            self.tuples.push_back(tuple);
-        } else {
-            // Out-of-order insertion (Alg. 2, lines 9–10): find the position
-            // from the back, since late tuples are usually only a little late.
-            self.stats.unordered_inserts += 1;
-            let mut pos = self.tuples.len();
-            while pos > 0 && self.tuples[pos - 1].ts > tuple.ts {
-                pos -= 1;
+        let target = match self.target_segment(tuple.ts) {
+            Some(k) => k,
+            None => {
+                let seg = self.fresh_segment();
+                self.segments.push_back(seg);
+                self.segments.len() - 1
             }
-            self.tuples.insert(pos, tuple);
-        }
-        self.stats.inserted += 1;
-        if self.tuples.len() > self.stats.peak_len {
-            self.stats.peak_len = self.tuples.len();
+        };
+        self.segments[target].insert(&self.cols, &mut self.counts, &mut self.unindexable, tuple);
+        self.len += 1;
+        self.counters.inserted += 1;
+        if self.len > self.counters.peak_len {
+            self.counters.peak_len = self.len;
         }
     }
 
-    /// Removes every tuple with `ts < bound` (Alg. 2, line 6, where
-    /// `bound = e_i.ts - W_j`).  Returns the number of expired tuples.
-    pub fn expire_before(&mut self, bound: Timestamp) -> usize {
-        let mut expired = 0;
-        while let Some(front) = self.tuples.front() {
-            if front.ts < bound {
-                let t = self.tuples.pop_front().expect("front checked above");
-                for (&col, index) in self.index.iter_mut() {
-                    match classify(t.value(col)) {
-                        KeyClass::Key(key) => bucket_remove(index, key, &t),
-                        KeyClass::Unindexable => {
-                            debug_assert!(index.unindexable > 0, "unindexable count underflow");
-                            index.unindexable = index.unindexable.saturating_sub(1);
-                        }
-                        KeyClass::Inert => {}
-                    }
+    /// Subtracts a whole segment's live rows from the window aggregates —
+    /// O(distinct keys), the segment-drop expiry path.
+    fn forget_segment(seg: &Segment, counts: &mut [KeyMap<u64>], unindexable: &mut [u64]) {
+        for ci in 0..counts.len() {
+            for (key, posting) in &seg.postings[ci] {
+                if posting.is_empty() {
+                    continue;
                 }
-                expired += 1;
-            } else {
+                let now_zero = match counts[ci].get_mut(key) {
+                    Some(c) => {
+                        *c -= (posting.len() as u64).min(*c);
+                        *c == 0
+                    }
+                    None => {
+                        debug_assert!(false, "dropped segment key missing from counts");
+                        false
+                    }
+                };
+                if now_zero {
+                    counts[ci].remove(key);
+                }
+            }
+            unindexable[ci] = unindexable[ci].saturating_sub(seg.zones[ci].unindexable);
+        }
+    }
+
+    /// Expires the boundary segment's leading rows with `ts < bound`.  The
+    /// posting fronts align with the expiry order (both are timestamp plus
+    /// insertion ordered), so each row pops in O(1).
+    fn expire_segment_prefix(
+        seg: &mut Segment,
+        cols: &[usize],
+        counts: &mut [KeyMap<u64>],
+        unindexable: &mut [u64],
+        bound: Timestamp,
+    ) -> usize {
+        let mut n = 0usize;
+        while let Some(&rid) = seg.order.front() {
+            if seg.rows[rid as usize].ts >= bound {
                 break;
             }
-        }
-        self.stats.expired += expired as u64;
-        expired
-    }
-
-    /// Removes every live tuple for which `keep` returns `false`,
-    /// maintaining the hash indexes and unindexable counters; returns the
-    /// number of removed tuples.
-    ///
-    /// This is *state surgery*, not expiry: the removed tuples do not count
-    /// towards [`WindowStats::expired`].  The sharded engine uses it to
-    /// purge replicated hot-key build state from non-home shards when a
-    /// split key reverts to plain hash routing.
-    pub fn retain_where(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
-        let mut removed = Vec::new();
-        self.tuples.retain(|t| {
-            let keep_it = keep(t);
-            if !keep_it {
-                removed.push(t.clone());
-            }
-            keep_it
-        });
-        for t in &removed {
-            for (&col, index) in self.index.iter_mut() {
+            seg.order.pop_front();
+            let t = &seg.rows[rid as usize];
+            seg.live_bytes = seg.live_bytes.saturating_sub(estimated_bytes(t));
+            for (ci, &col) in cols.iter().enumerate() {
                 match classify(t.value(col)) {
-                    KeyClass::Key(key) => bucket_remove(index, key, t),
+                    KeyClass::Key(key) => {
+                        let emptied = match seg.postings[ci].get_mut(&key) {
+                            Some(posting) => {
+                                let popped = posting.pop_front();
+                                debug_assert_eq!(
+                                    popped,
+                                    Some(rid),
+                                    "posting front must align with expiry order"
+                                );
+                                posting.is_empty()
+                            }
+                            None => {
+                                debug_assert!(false, "expired tuple missing from posting");
+                                false
+                            }
+                        };
+                        if emptied {
+                            seg.postings[ci].remove(&key);
+                        }
+                        let now_zero = match counts[ci].get_mut(&key) {
+                            Some(c) => {
+                                *c = c.saturating_sub(1);
+                                *c == 0
+                            }
+                            None => {
+                                debug_assert!(false, "expired key missing from counts");
+                                false
+                            }
+                        };
+                        if now_zero {
+                            counts[ci].remove(&key);
+                        }
+                    }
                     KeyClass::Unindexable => {
-                        debug_assert!(index.unindexable > 0, "unindexable count underflow");
-                        index.unindexable = index.unindexable.saturating_sub(1);
+                        let z = &mut seg.zones[ci];
+                        debug_assert!(z.unindexable > 0, "unindexable count underflow");
+                        z.unindexable = z.unindexable.saturating_sub(1);
+                        unindexable[ci] = unindexable[ci].saturating_sub(1);
+                        if matches!(t.value(col), Some(Value::Str(_) | Value::Bool(_))) {
+                            z.str_bool = z.str_bool.saturating_sub(1);
+                        }
                     }
                     KeyClass::Inert => {}
                 }
             }
+            n += 1;
         }
-        removed.len()
+        n
+    }
+
+    /// Removes every tuple with `ts < bound` (Alg. 2, line 6, where
+    /// `bound = e_i.ts - W_j`).  Returns the number of expired tuples.
+    ///
+    /// Expired rows form a prefix of the global timestamp order, so whole
+    /// leading segments drop in O(distinct keys) each; only the single
+    /// boundary segment is walked row by row.
+    pub fn expire_before(&mut self, bound: Timestamp) -> usize {
+        let mut expired = 0usize;
+        while let Some(front) = self.segments.front() {
+            match front.max_ts() {
+                Some(max) if max < bound => {
+                    let seg = self.segments.pop_front().expect("front checked above");
+                    expired += seg.live_len();
+                    Self::forget_segment(&seg, &mut self.counts, &mut self.unindexable);
+                    self.recycle(seg);
+                }
+                Some(_) => {
+                    let seg = self.segments.front_mut().expect("front checked above");
+                    expired += Self::expire_segment_prefix(
+                        seg,
+                        &self.cols,
+                        &mut self.counts,
+                        &mut self.unindexable,
+                        bound,
+                    );
+                    break;
+                }
+                None => {
+                    debug_assert!(false, "windows never hold empty segments");
+                    let seg = self.segments.pop_front().expect("front checked above");
+                    self.recycle(seg);
+                }
+            }
+        }
+        self.len -= expired;
+        self.counters.expired += expired as u64;
+        expired
+    }
+
+    /// Removes every live tuple for which `keep` returns `false`,
+    /// maintaining the indexes, zones and unindexable counters; returns the
+    /// number of removed tuples.
+    ///
+    /// This is *state surgery*, not expiry: the removed tuples do not count
+    /// towards [`WindowStats::expired`].  The sharded engine uses it at
+    /// barriers to purge replicated hot-key build state from non-home
+    /// shards when a split key reverts to plain hash routing — rare enough
+    /// that affected segments are simply rebuilt in place.
+    pub fn retain_where(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
+        let mut removed = 0usize;
+        let mut survivors: Vec<Tuple> = Vec::new();
+        for si in 0..self.segments.len() {
+            // `keep` may be stateful: call it exactly once per live row, in
+            // global timestamp order (segments are visited front to back).
+            let seg = &self.segments[si];
+            let mut any_removed = false;
+            let decisions: Vec<bool> = seg
+                .order
+                .iter()
+                .map(|&rid| {
+                    let k = keep(&seg.rows[rid as usize]);
+                    any_removed |= !k;
+                    k
+                })
+                .collect();
+            if !any_removed {
+                continue;
+            }
+            survivors.clear();
+            survivors.extend(
+                seg.order
+                    .iter()
+                    .zip(&decisions)
+                    .filter(|(_, &k)| k)
+                    .map(|(&rid, _)| seg.rows[rid as usize].clone()),
+            );
+            removed += decisions.len() - survivors.len();
+            Self::forget_segment(&self.segments[si], &mut self.counts, &mut self.unindexable);
+            let seg = &mut self.segments[si];
+            seg.reset();
+            for t in survivors.drain(..) {
+                seg.insert(&self.cols, &mut self.counts, &mut self.unindexable, t);
+            }
+        }
+        while let Some(pos) = self.segments.iter().position(|s| s.live_len() == 0) {
+            let seg = self.segments.remove(pos).expect("position checked above");
+            self.recycle(seg);
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Position of `col` in the indexed-column set.
+    fn col_pos(&self, col: usize) -> Option<usize> {
+        self.cols.iter().position(|&c| c == col)
     }
 
     /// Number of live tuples whose indexed column `col` is `Int(key)`.
     ///
     /// Falls back to a scan when the column is not indexed.
     pub fn count_key(&self, col: usize, key: i64) -> u64 {
-        if let Some(index) = self.index.get(&col) {
-            index.buckets.get(&key).map(|b| b.len()).unwrap_or(0) as u64
-        } else {
-            self.tuples
+        match self.col_pos(col) {
+            Some(ci) => self.counts[ci].get(&key).copied().unwrap_or(0),
+            None => self
                 .iter()
                 .filter(|t| t.value(col).and_then(Value::as_int) == Some(key))
-                .count() as u64
+                .count() as u64,
         }
     }
 
+    /// The posting chain of live tuples whose column `ci` (an indexed-set
+    /// position) is `Int(key)`, across segments in timestamp order.
+    fn bucket_chain(&self, ci: usize, key: i64) -> impl Iterator<Item = &Tuple> + '_ {
+        self.segments
+            .iter()
+            .flat_map(move |seg| seg.posting_tuples(ci, key))
+    }
+
     /// Iterates over live tuples whose column `col` is `Int(key)`, in
-    /// timestamp order — through the hash bucket when `col` is indexed, by
+    /// timestamp order — through the postings when `col` is indexed, by
     /// scanning otherwise.  Both paths yield the identical tuple sequence
     /// (the property harness in `tests/index_properties.rs` pins this).
     pub fn matching<'a>(&'a self, col: usize, key: i64) -> impl Iterator<Item = &'a Tuple> + 'a {
-        let (bucket, scan) = match self.index.get(&col) {
-            Some(ki) => (ki.buckets.get(&key), None),
-            None => (None, Some(self.tuples.iter())),
+        let (indexed, scan) = match self.col_pos(col) {
+            Some(ci) => (Some(ci), None),
+            None => (None, Some(self.iter())),
         };
         scan.into_iter()
             .flatten()
             .filter(move |t| t.value(col).and_then(Value::as_int) == Some(key))
-            .chain(bucket.into_iter().flatten())
+            .chain(
+                indexed
+                    .into_iter()
+                    .flat_map(move |ci| self.bucket_chain(ci, key)),
+            )
     }
 
-    /// The hash bucket of live tuples whose column `col` is `Int(key)`;
-    /// `None` when the column is not indexed or the key has no live tuples.
-    pub(crate) fn bucket(&self, col: usize, key: i64) -> Option<&VecDeque<Tuple>> {
-        self.index.get(&col)?.buckets.get(&key)
+    /// Single-pass, allocation-free walk of the live tuples whose indexed
+    /// column `col` is `Int(key)`; empty when the column is not indexed.
+    pub(crate) fn bucket_iter(&self, col: usize, key: i64) -> impl Iterator<Item = &Tuple> + '_ {
+        self.col_pos(col)
+            .into_iter()
+            .flat_map(move |ci| self.bucket_chain(ci, key))
+    }
+
+    /// The hash bucket of live tuples whose column `col` is `Int(key)`,
+    /// resolved to re-iterable per-segment slices; `None` when the column
+    /// is not indexed or the key has no live tuples.
+    pub(crate) fn bucket(&self, col: usize, key: i64) -> Option<Bucket<'_>> {
+        let ci = self.col_pos(col)?;
+        let mut parts = Vec::new();
+        for seg in &self.segments {
+            if let Some(posting) = seg.postings[ci].get(&key) {
+                if !posting.is_empty() {
+                    parts.push((seg.rows.as_slice(), posting));
+                }
+            }
+        }
+        if parts.is_empty() {
+            None
+        } else {
+            Some(Bucket { parts })
+        }
+    }
+
+    /// Live tuples in timestamp order, skipping segments whose zone map
+    /// proves them barren for the prune spec `(column, probe key)` — the
+    /// fallback-scan access path.  `None` (or an unindexed column) scans
+    /// everything.
+    pub(crate) fn iter_pruned<'a>(
+        &'a self,
+        prune: Option<(usize, &'a Value)>,
+    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+        let spec = prune.and_then(|(col, key)| self.col_pos(col).map(|ci| (ci, key)));
+        self.segments
+            .iter()
+            .filter(move |seg| spec.is_none_or(|(ci, key)| !seg.zone_prunes(ci, key)))
+            .flat_map(Segment::live)
+    }
+
+    /// Live tuples that could satisfy `join_eq` between their value in
+    /// indexed column `col` and `key` — directly or through a chain of
+    /// `join_eq` equalities — in timestamp order.
+    ///
+    /// An over-approximation driven by the per-segment zone maps: segments
+    /// whose summaries prove them barren are skipped wholesale, every other
+    /// segment is yielded in full, so the caller must still evaluate the
+    /// join condition per tuple.  No joinable tuple is ever skipped.  For
+    /// unindexed (or demoted) columns this degrades to a full scan.
+    pub fn scan_candidates<'a>(
+        &'a self,
+        col: usize,
+        key: &'a Value,
+    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+        self.iter_pruned(Some((col, key)))
     }
 
     /// Whether `col` has a hash index.
     pub fn is_indexed(&self, col: usize) -> bool {
-        self.index.contains_key(&col)
+        self.col_pos(col).is_some()
     }
 
     /// Number of live tuples whose value in indexed column `col` is
     /// joinable but not hashable (float, string or bool); 0 for unindexed
     /// columns.
     pub fn unindexable_count(&self, col: usize) -> u64 {
-        self.index.get(&col).map(|ki| ki.unindexable).unwrap_or(0)
+        self.col_pos(col)
+            .map(|ci| self.unindexable[ci])
+            .unwrap_or(0)
     }
 
     /// Whether the hash index on `col` is *sound* to probe: the column is
@@ -307,14 +916,14 @@ impl Window {
     /// (`Null`/missing).  When this returns `false` the operator must use
     /// the nested-loop scan for probes touching this column.
     pub fn index_usable(&self, col: usize) -> bool {
-        self.index
-            .get(&col)
-            .map(|ki| ki.unindexable == 0)
+        self.col_pos(col)
+            .map(|ci| self.unindexable[ci] == 0)
             .unwrap_or(false)
     }
 
-    /// Drops every hash index of this window permanently: subsequent probes
-    /// scan, and inserts/expiry skip index maintenance entirely.
+    /// Drops every hash index (and zone map) of this window permanently:
+    /// subsequent probes scan, and inserts/expiry skip index maintenance
+    /// entirely.
     ///
     /// Used by runtime re-planning when the observed indexed-vs-fallback
     /// ratio shows the index stopped paying (e.g. a persistently
@@ -323,57 +932,29 @@ impl Window {
     /// one-way for the window's lifetime — re-promotion would require a
     /// full index rebuild from live state.
     pub fn demote_index(&mut self) {
-        self.index.clear();
-        self.index.shrink_to_fit();
+        self.cols = Vec::new();
+        self.counts = Vec::new();
+        self.unindexable = Vec::new();
+        self.spare = None;
+        for seg in &mut self.segments {
+            seg.postings = Vec::new();
+            seg.zones = Vec::new();
+        }
     }
 
     /// Removes every tuple (used when resetting an operator between runs).
     pub fn clear(&mut self) {
-        self.tuples.clear();
-        for index in self.index.values_mut() {
-            index.buckets.clear();
-            index.unindexable = 0;
+        if let Some(seg) = self.segments.pop_front() {
+            self.recycle(seg);
         }
-    }
-}
-
-/// Inserts into a bucket keeping timestamp order (ties keep insertion
-/// order, mirroring [`Window::insert`]); late tuples search from the back.
-fn bucket_insert(bucket: &mut VecDeque<Tuple>, tuple: Tuple) {
-    let mut pos = bucket.len();
-    while pos > 0 && bucket[pos - 1].ts > tuple.ts {
-        pos -= 1;
-    }
-    if pos == bucket.len() {
-        bucket.push_back(tuple);
-    } else {
-        bucket.insert(pos, tuple);
-    }
-}
-
-/// Removes one expired tuple from its bucket.  Expired tuples carry the
-/// smallest timestamps, so the scan terminates within the bucket's leading
-/// equal-timestamp run; empty buckets are dropped to bound the key map.
-///
-/// The bucket entry is a clone of the expired tuple, so it is identified by
-/// its shared value allocation (`shares_values`) — never by deep value
-/// equality, which `Float(NaN)` attributes would break.
-fn bucket_remove(index: &mut KeyIndex, key: i64, t: &Tuple) {
-    let Some(bucket) = index.buckets.get_mut(&key) else {
-        debug_assert!(false, "expired tuple missing from index bucket");
-        return;
-    };
-    let pos = bucket
-        .iter()
-        .position(|b| b.ts == t.ts && b.seq == t.seq && b.shares_values(t));
-    match pos {
-        Some(pos) => {
-            bucket.remove(pos);
-            if bucket.is_empty() {
-                index.buckets.remove(&key);
-            }
+        self.segments.clear();
+        self.len = 0;
+        for m in &mut self.counts {
+            m.clear();
         }
-        None => debug_assert!(false, "expired tuple missing from index bucket"),
+        for u in &mut self.unindexable {
+            *u = 0;
+        }
     }
 }
 
@@ -525,6 +1106,7 @@ mod tests {
         assert!(w.index_usable(0));
         // Peak is a lifetime statistic and survives clear().
         assert_eq!(w.stats().peak_len, 5);
+        assert_eq!(w.stats().live_bytes_est, 0);
     }
 
     #[test]
@@ -575,9 +1157,8 @@ mod tests {
 
     #[test]
     fn nan_attributes_do_not_break_bucket_expiration() {
-        // Regression: bucket entries are identified by their shared value
-        // allocation, not deep equality — a Float(NaN) payload attribute
-        // (NaN != NaN) must not leave a stale clone behind at expiration.
+        // Regression: a Float(NaN) payload attribute (NaN != NaN) must not
+        // leave a phantom index entry behind at expiration.
         let mut w = Window::with_indexed_columns(1_000, &[0]);
         w.insert(Tuple::new(
             StreamIndex(0),
@@ -614,5 +1195,172 @@ mod tests {
         let w = Window::new(1_000);
         assert!(!w.index_usable(0));
         assert_eq!(w.unindexable_count(0), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Segmented-storage specifics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn tail_seals_at_capacity_and_whole_segments_drop() {
+        let mut w = Window::with_segment_capacity(1_000, &[0], 4);
+        for i in 0..10u64 {
+            w.insert(tup(i, 100 * (i + 1), (i % 3) as i64));
+        }
+        let s = w.stats();
+        assert_eq!(s.segments, 3, "10 rows at capacity 4 span 3 segments");
+        assert_eq!(s.sealed_segments, 2);
+        assert!(s.live_bytes_est > 0);
+        // Expiring past the first two segments drops them wholesale.
+        let removed = w.expire_before(Timestamp::from_millis(850));
+        assert_eq!(removed, 8);
+        assert_eq!(w.stats().segments, 1);
+        let ts: Vec<u64> = w.iter().map(|t| t.ts.as_millis()).collect();
+        assert_eq!(ts, vec![900, 1_000]);
+        for key in 0..3 {
+            let via_index = w.count_key(0, key);
+            let via_scan = w
+                .iter()
+                .filter(|t| t.value(0) == Some(&Value::Int(key)))
+                .count() as u64;
+            assert_eq!(via_index, via_scan, "counts survive segment drops");
+        }
+    }
+
+    #[test]
+    fn capacity_is_an_access_path_choice_only() {
+        // Identical content and index answers for capacities 2 and 1024,
+        // under out-of-order inserts, expiry and surgery.
+        let mut tiny = Window::with_segment_capacity(10_000, &[0], 2);
+        let mut big = Window::with_segment_capacity(10_000, &[0], 1024);
+        let script: &[(u64, u64, i64)] = &[
+            (0, 500, 1),
+            (1, 100, 2),
+            (2, 700, 1),
+            (3, 300, 3),
+            (4, 700, 2),
+            (5, 650, 1),
+            (6, 900, 3),
+            (7, 200, 1),
+        ];
+        for &(seq, ts, key) in script {
+            tiny.insert(tup(seq, ts, key));
+            big.insert(tup(seq, ts, key));
+        }
+        assert_eq!(tiny.expire_before(Timestamp::from_millis(310)), 3);
+        assert_eq!(big.expire_before(Timestamp::from_millis(310)), 3);
+        assert_eq!(tiny.retain_where(|t| t.seq != 4), 1);
+        assert_eq!(big.retain_where(|t| t.seq != 4), 1);
+        let seq = |w: &Window| w.iter().map(|t| t.seq).collect::<Vec<_>>();
+        assert_eq!(seq(&tiny), seq(&big));
+        assert_eq!(tiny.len(), big.len());
+        for key in 0..4 {
+            assert_eq!(tiny.count_key(0, key), big.count_key(0, key));
+            let a: Vec<u64> = tiny.matching(0, key).map(|t| t.seq).collect();
+            let b: Vec<u64> = big.matching(0, key).map(|t| t.seq).collect();
+            assert_eq!(a, b);
+        }
+        assert_eq!(tiny.min_ts(), big.min_ts());
+        assert_eq!(tiny.max_ts(), big.max_ts());
+        assert!(tiny.stats().segments > big.stats().segments);
+    }
+
+    #[test]
+    fn indexed_window_stores_each_tuple_exactly_once() {
+        // Memory regression: the old index cloned every tuple into its
+        // bucket, so indexed windows held the payload twice.  Postings hold
+        // row ids now — each live tuple's payload allocation must be
+        // referenced exactly twice: our clone here and the window's row.
+        let mut w = Window::with_segment_capacity(100_000, &[0], 4);
+        let mine: Vec<Tuple> = (0..20).map(|i| tup(i, 100 * (i + 1), 7)).collect();
+        for t in &mine {
+            w.insert(t.clone());
+        }
+        assert_eq!(w.count_key(0, 7), 20, "everything sits in one bucket");
+        for t in &mine {
+            assert_eq!(
+                t.payload_refs(),
+                2,
+                "a live tuple must be stored exactly once"
+            );
+        }
+        // Dropping whole segments releases the rows' references.
+        w.expire_before(Timestamp::from_millis(100 * 20 + 1));
+        assert!(w.is_empty());
+        // The one recycled spare segment is reset, so nothing lingers.
+        for t in &mine {
+            assert_eq!(t.payload_refs(), 1, "expiry must release the payload");
+        }
+    }
+
+    #[test]
+    fn scan_candidates_skips_barren_segments_but_never_matches() {
+        let mut w = Window::with_segment_capacity(100_000, &[0], 4);
+        // Time-correlated keys: each sealed segment covers a narrow range.
+        for i in 0..40u64 {
+            w.insert(tup(i, 10 * (i + 1), i as i64));
+        }
+        // A float probe key inside one segment's range.
+        let key = Value::Float(17.0);
+        let got: Vec<i64> = w
+            .scan_candidates(0, &key)
+            .filter(|t| t.value(0).map(|v| v.join_eq(&key)).unwrap_or(false))
+            .map(|t| t.seq as i64)
+            .collect();
+        assert_eq!(got, vec![17], "pruning must never lose a joinable tuple");
+        let candidates = w.scan_candidates(0, &key).count();
+        assert!(
+            candidates <= 4,
+            "zone maps must confine the scan to one segment, saw {candidates}"
+        );
+        // String and boolean probe keys prune pure-integer segments
+        // entirely; NaN prunes everything.
+        assert_eq!(w.scan_candidates(0, &Value::Str("x".into())).count(), 0);
+        assert_eq!(w.scan_candidates(0, &Value::Float(f64::NAN)).count(), 0);
+        // A live string re-opens its segment for string probes.
+        w.insert(Tuple::new(
+            StreamIndex(0),
+            99,
+            Timestamp::from_millis(500),
+            vec![Value::Str("x".into())],
+        ));
+        assert!(w.scan_candidates(0, &Value::Str("x".into())).count() > 0);
+        // Unindexed columns degrade to a full scan.
+        assert_eq!(w.scan_candidates(5, &Value::Int(3)).count(), w.len());
+    }
+
+    #[test]
+    fn zone_bounds_stay_sound_after_expiry_widening() {
+        // Bounds never shrink on expiry: stale-wide zones may admit extra
+        // candidates but must never prune a joinable one.
+        let mut w = Window::with_segment_capacity(100_000, &[0], 8);
+        for i in 0..8u64 {
+            w.insert(tup(i, 10 * (i + 1), i as i64));
+        }
+        w.expire_before(Timestamp::from_millis(45)); // keys 0..4 expire
+        let key = Value::Float(6.0);
+        let joinable: Vec<u64> = w
+            .scan_candidates(0, &key)
+            .filter(|t| t.value(0).map(|v| v.join_eq(&key)).unwrap_or(false))
+            .map(|t| t.seq)
+            .collect();
+        assert_eq!(joinable, vec![6]);
+    }
+
+    #[test]
+    fn spare_segment_recycles_dropped_buffers() {
+        let mut w = Window::with_segment_capacity(1_000, &[0], 4);
+        for round in 0..5u64 {
+            for i in 0..4u64 {
+                let seq = round * 4 + i;
+                w.insert(tup(seq, 100 * (seq + 1), 1));
+            }
+            // Expire everything inserted so far; the dropped segment's
+            // buffers come back for the next round's tail.
+            w.expire_before(Timestamp::from_millis(100 * ((round + 1) * 4) + 1));
+            assert!(w.is_empty());
+        }
+        assert_eq!(w.stats().expired, 20);
+        assert_eq!(w.stats().segments, 0);
     }
 }

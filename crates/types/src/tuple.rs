@@ -67,6 +67,14 @@ impl Tuple {
         Arc::ptr_eq(&self.values, &other.values)
     }
 
+    /// Number of live references to this tuple's attribute-value allocation
+    /// (its own included).  A memory-accounting diagnostic: a tuple held by
+    /// exactly one window and one caller reports 2; anything higher means
+    /// some structure cloned the tuple rather than referencing its row.
+    pub fn payload_refs(&self) -> usize {
+        Arc::strong_count(&self.values)
+    }
+
     /// The attribute at position `idx`, if present.
     pub fn value(&self, idx: usize) -> Option<&Value> {
         self.values.get(idx)

@@ -3,8 +3,8 @@
 //! The real crates.io `criterion` is unavailable in this build environment,
 //! so this crate re-implements the small surface the workspace benches use:
 //! [`Criterion`] with its builder knobs, [`BenchmarkGroup`],
-//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
-//! [`criterion_group!`] / [`criterion_main!`] macros.
+//! [`BenchmarkId`], [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
 //!
 //! Measurement is deliberately simple but honest wall-clock timing: a
 //! warm-up phase sizes the per-sample iteration count so that
@@ -37,6 +37,43 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+
+    /// Times `routine` over inputs produced by `setup`, excluding both the
+    /// setup calls and the drop of the routine's outputs from the measured
+    /// time — for consuming benchmarks whose input is expensive to rebuild
+    /// (the real criterion's `iter_batched`).  The `_size` hint is accepted
+    /// for call-site compatibility and ignored: this stand-in always runs
+    /// one input at a time.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut elapsed = Duration::ZERO;
+        let mut outputs = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            elapsed += start.elapsed();
+            outputs.push(out);
+        }
+        drop(outputs);
+        self.elapsed = elapsed;
+    }
+}
+
+/// Batching hint for [`Bencher::iter_batched`] — accepted for source
+/// compatibility with the real criterion, ignored by this stand-in.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum BatchSize {
+    /// Input is small; the real criterion batches many per timing run.
+    SmallInput,
+    /// Input is large; the real criterion times one at a time (as we do).
+    #[default]
+    LargeInput,
+    /// One input per iteration, always.
+    PerIteration,
 }
 
 /// Identifier of one parameterized benchmark within a group.
@@ -259,6 +296,18 @@ mod tests {
             })
         });
         assert!(calls > 0, "the benchmark closure must have run");
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![setups]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(setups > 0, "the setup closure must have run");
         let mut group = c.benchmark_group("group");
         group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
         group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
