@@ -20,7 +20,7 @@
 //! spot of the scoped backend.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mswj_core::{EngineEvent, ExecutionBackend, JoinEngine};
+use mswj_core::{EngineEvent, ExecutionBackend, JoinEngine, Telemetry};
 use mswj_datasets::Zipf;
 use mswj_join::{CommonKeyEquiJoin, JoinQuery, ProbeStrategy};
 use mswj_types::{FieldType, Schema, StreamSet, Timestamp, Tuple, Value};
@@ -73,36 +73,45 @@ fn resident_vs_scoped(c: &mut Criterion) {
     ];
     for &pairs in &[1u64, 32, 512] {
         for (label, backend) in &backends {
-            group.bench_function(format!("b{pairs}_{label}"), |b| {
-                let mut engine = JoinEngine::new(
-                    equi2(WINDOW_TUPLES),
-                    ProbeStrategy::Auto,
-                    false,
-                    backend.clone(),
-                );
-                // Prefill to the steady-state window population (and, for
-                // the pool, warm the epoch buffers).
-                let mut t = 0u64;
-                engine.push_batch(batch_of(&keys, 0, WINDOW_TUPLES), &mut |_| {});
-                engine.sync(&mut |_| {});
-                t += WINDOW_TUPLES;
-                let mut results = 0u64;
-                b.iter(|| {
-                    // Per measured iteration: ingest `pairs` tuple pairs.
-                    // The pool overlaps this batch's routing with the
-                    // previous batch's shard execution; Threads pays one
-                    // scope fan-out per batch; Sequential runs inline.
-                    engine.push_batch(batch_of(&keys, t, pairs), &mut |ev| {
-                        if let EngineEvent::Done(o) = ev {
-                            results += o.n_join;
-                        }
+            // The `_telemetry` twin runs the identical workload with live
+            // instruments attached — the observe-only contract says it must
+            // stay within a few percent of the plain run.
+            for (suffix, telemetry) in [("", false), ("_telemetry", true)] {
+                group.bench_function(format!("b{pairs}_{label}{suffix}"), |b| {
+                    let mut engine = JoinEngine::new(
+                        equi2(WINDOW_TUPLES),
+                        ProbeStrategy::Auto,
+                        false,
+                        backend.clone(),
+                    );
+                    if telemetry {
+                        engine.attach_telemetry(Telemetry::new());
+                    }
+                    // Prefill to the steady-state window population (and,
+                    // for the pool, warm the epoch buffers).
+                    let mut t = 0u64;
+                    engine.push_batch(batch_of(&keys, 0, WINDOW_TUPLES), &mut |_| {});
+                    engine.sync(&mut |_| {});
+                    t += WINDOW_TUPLES;
+                    let mut results = 0u64;
+                    b.iter(|| {
+                        // Per measured iteration: ingest `pairs` tuple
+                        // pairs.  The pool overlaps this batch's routing
+                        // with the previous batch's shard execution;
+                        // Threads pays one scope fan-out per batch;
+                        // Sequential runs inline.
+                        engine.push_batch(batch_of(&keys, t, pairs), &mut |ev| {
+                            if let EngineEvent::Done(o) = ev {
+                                results += o.n_join;
+                            }
+                        });
+                        t += pairs;
+                        black_box(results)
                     });
-                    t += pairs;
-                    black_box(results)
+                    // Epochs in flight must not leak out of the measurement.
+                    engine.sync(&mut |_| {});
                 });
-                // Epochs in flight must not leak out of the measurement.
-                engine.sync(&mut |_| {});
-            });
+            }
         }
     }
     group.finish();

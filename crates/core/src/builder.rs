@@ -35,6 +35,7 @@ use crate::policy::BufferPolicy;
 use mswj_join::{
     CommonKeyEquiJoin, CrossJoin, JoinCondition, JoinQuery, PredicateFn, ProbeStrategy,
 };
+use mswj_obs::{EventCallback, Telemetry};
 use mswj_types::{Duration, Error, Result, Schema, StreamSet, StreamSpec, Tuple};
 use std::sync::Arc;
 
@@ -105,6 +106,8 @@ pub struct SessionBuilder {
     backend: ExecutionBackend,
     skew: Option<SkewConfig>,
     replan: Option<ReplanConfig>,
+    telemetry: Option<Telemetry>,
+    on_event: Option<EventCallback>,
 }
 
 impl Default for SessionBuilder {
@@ -143,6 +146,8 @@ impl SessionBuilder {
             backend: ExecutionBackend::default(),
             skew: None,
             replan: None,
+            telemetry: None,
+            on_event: None,
         }
     }
 
@@ -404,6 +409,35 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a live [`Telemetry`] handle to the session.
+    ///
+    /// The handle is shared: the pipeline front-end records quality gauges
+    /// and latency histograms into it, the join stage publishes per-shard
+    /// runtime gauges at its idle barriers, and operational notices
+    /// (checkpoints, skew splits, plan revisions, heavy-hitter warnings)
+    /// land in its bounded event ring instead of on stderr.  Hand a clone
+    /// of the same handle to a
+    /// [`MetricsExporter`](mswj_obs::MetricsExporter) to scrape it over
+    /// HTTP.  Telemetry is strictly observe-only — results are
+    /// byte-identical with and without it, on every backend.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Registers a callback invoked synchronously for every
+    /// [`TelemetryEvent`](mswj_obs::TelemetryEvent) the session emits
+    /// (implies [`SessionBuilder::telemetry`] with a fresh handle when none
+    /// was attached).  The callback runs on the pipeline thread — keep it
+    /// cheap.
+    pub fn on_event(
+        mut self,
+        callback: impl Fn(&mswj_obs::TelemetryEvent) + Send + Sync + 'static,
+    ) -> Self {
+        self.on_event = Some(Arc::new(callback));
+        self
+    }
+
     /// Validates the declaration and constructs the [`Pipeline`].
     ///
     /// # Errors
@@ -468,6 +502,14 @@ impl SessionBuilder {
                 JoinQuery::new(self.name, streams, condition)?
             }
         };
+        let telemetry = match (self.telemetry, self.on_event) {
+            (telemetry, None) => telemetry,
+            (telemetry, Some(callback)) => {
+                let telemetry = telemetry.unwrap_or_default();
+                telemetry.set_event_callback(callback);
+                Some(telemetry)
+            }
+        };
         Pipeline::construct(
             query,
             policy,
@@ -476,6 +518,7 @@ impl SessionBuilder {
             self.backend,
             self.skew,
             self.replan,
+            telemetry,
         )
     }
 

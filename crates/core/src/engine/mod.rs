@@ -156,6 +156,7 @@ use mswj_join::{
     join_key_hash, JoinQuery, JoinResult, MswjOperator, OperatorStats, Partitioner, ProbeOutcome,
     ProbePlan, ProbeStrategy, Route, RoutingTable,
 };
+use mswj_obs::{EventKind, ShardInstruments, Telemetry, TelemetryEvent};
 use mswj_types::{Error, StreamIndex, Timestamp, Tuple};
 use occupancy::Occupancy;
 use pool::{Epoch, ShardPool, Task};
@@ -337,9 +338,14 @@ pub struct ShardRuntimeStats {
     pub migrated_tuples: u64,
     /// Estimated live heap bytes of this shard's window state (segment
     /// arenas, payload vectors and string bytes), sampled when the stats
-    /// were taken.  Zero on the `Remote` backend, whose window state lives
-    /// in the server process.
+    /// were taken.  On the `Remote` backend the figure is reported by the
+    /// server process over the barrier reply, so local and remote shards
+    /// agree.
     pub window_bytes: u64,
+    /// Columnar storage segments held across this shard's windows, sampled
+    /// when the stats were taken (remote shards report theirs over the
+    /// barrier reply, like `window_bytes`).
+    pub window_segments: u64,
 }
 
 /// One shard's complete statistics: the shard operator's lifetime counters
@@ -458,6 +464,20 @@ pub struct JoinEngine {
     spare_decisions: Vec<Decision>,
     spare_mask: Vec<bool>,
     spare_items: Vec<VecDeque<Item>>,
+    /// The attached telemetry registry, if any.  Strictly observe-only:
+    /// nothing the engine reads from it feeds back into routing, merging
+    /// or plan decisions, so an attached handle cannot change a produced
+    /// byte.  Instruments are only touched at idle barriers (events,
+    /// gauge publication) — never inside the per-tuple execution path.
+    telemetry: Option<Telemetry>,
+    /// Pre-registered per-shard instrument scopes (one per shard, resolved
+    /// once at attach time so publication does no registry locking).
+    shard_scopes: Vec<std::sync::Arc<ShardInstruments>>,
+    /// Wall-clock instant of the previous gauge publication, the baseline
+    /// for the per-shard busy-share gauges.
+    last_publish: Option<std::time::Instant>,
+    /// Per-shard `busy_nanos` at the previous publication.
+    last_busy: Vec<u64>,
 }
 
 impl std::fmt::Debug for JoinEngine {
@@ -648,8 +668,86 @@ impl JoinEngine {
             spare_decisions: Vec::new(),
             spare_mask: Vec::new(),
             spare_items: (0..n).map(|_| VecDeque::new()).collect(),
+            telemetry: None,
+            shard_scopes: Vec::new(),
+            last_publish: None,
+            last_busy: vec![0; n],
             query,
         })
+    }
+
+    /// Attaches a telemetry registry, pre-registering one instrument scope
+    /// per shard.  Observe-only: the engine publishes runtime gauges into
+    /// it at barriers and routes structured events (heavy-hitter warnings,
+    /// skew and plan transitions) through its bounded ring instead of
+    /// stderr.  Attaching telemetry never changes a produced byte.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.shard_scopes = (0..self.shard_count())
+            .map(|s| telemetry.shard(s))
+            .collect();
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Emits a structured event into the attached telemetry ring (no-op
+    /// without one).  Runs at barriers only — it may lock and allocate.
+    fn telemetry_event(&self, kind: EventKind, message: String) {
+        if let Some(t) = &self.telemetry {
+            t.emit(TelemetryEvent {
+                at_ms: self.on_t.as_millis(),
+                kind,
+                message,
+            });
+        }
+    }
+
+    /// Publishes the per-shard runtime gauges (queue depth, busy share,
+    /// window bytes/segments, transport counters) into the attached
+    /// telemetry registry; a no-op without one.  Must be called with the
+    /// engine idle (the pipeline does so right after its checkpoint
+    /// barrier); on the `Remote` backend this runs one extra barrier
+    /// round-trip per shard to sample the server-side window footprint.
+    pub fn publish_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let stats = self.shard_stats();
+        let now = std::time::Instant::now();
+        let wall = self
+            .last_publish
+            .map(|at| now.duration_since(at).as_nanos() as u64);
+        for (s, stat) in stats.iter().enumerate() {
+            let Some(scope) = self.shard_scopes.get(s) else {
+                continue;
+            };
+            let rt = &stat.runtime;
+            scope.queue_depth.set(rt.max_queue_depth as f64);
+            scope.window_bytes.set(rt.window_bytes as f64);
+            scope.window_segments.set(rt.window_segments as f64);
+            scope.routed.set(rt.routed as f64);
+            scope.epochs_executed.set(rt.epochs_executed as f64);
+            scope.frames_sent.set(rt.frames_sent as f64);
+            scope.frames_received.set(rt.frames_received as f64);
+            scope.bytes_sent.set(rt.bytes_sent as f64);
+            scope.bytes_received.set(rt.bytes_received as f64);
+            scope.rtt_nanos.set(rt.epoch_rtt_nanos as f64);
+            let prev_busy = self.last_busy.get(s).copied().unwrap_or(0);
+            let share = match wall {
+                Some(wall) if wall > 0 => {
+                    ((rt.busy_nanos.saturating_sub(prev_busy)) as f64 / wall as f64).min(1.0)
+                }
+                _ => 0.0,
+            };
+            scope.busy_share.set(share);
+            if let Some(slot) = self.last_busy.get_mut(s) {
+                *slot = rt.busy_nanos;
+            }
+        }
+        self.last_publish = Some(now);
     }
 
     /// The backend this engine executes with.
@@ -693,17 +791,18 @@ impl JoinEngine {
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         (0..self.shard_count())
             .map(|s| {
-                let (operator, window_bytes) = match &self.remote {
-                    // Remote window state lives in the server process; its
-                    // memory is not visible (nor billed) on this side.
-                    Some(remote) => (remote.barrier_stats(s), 0),
+                let (operator, window_bytes, window_segments) = match &self.remote {
+                    // Remote window state lives in the server process; the
+                    // barrier reply carries its footprint back to us.
+                    Some(remote) => remote.barrier_stats(s),
                     None => {
                         let shard = self.shard(s);
-                        (shard.stats(), shard.window_bytes())
+                        (shard.stats(), shard.window_bytes(), shard.window_segments())
                     }
                 };
                 let mut runtime = self.runtime_stats(s);
                 runtime.window_bytes = window_bytes;
+                runtime.window_segments = window_segments;
                 ShardStats { operator, runtime }
             })
             .collect()
@@ -1248,12 +1347,17 @@ impl JoinEngine {
         }
     }
 
-    /// Logs the heavy-hitter warning when the closing window put a
+    /// Reports the heavy-hitter warning when the closing window put a
     /// majority of its routed events on one shard; re-arms when a window
     /// comes back balanced, so a late-emerging hot key is reported even
-    /// after an earlier warning.  Suppress the log with
-    /// `MSWJ_NO_SKEW_WARNING` (the signal stays available through
-    /// [`JoinEngine::heavy_hitter`] and the per-shard `routed` counters).
+    /// after an earlier warning.
+    ///
+    /// With telemetry attached the warning goes through the structured
+    /// event ring (and its optional callback) — embedding applications are
+    /// never written to on stderr.  Without telemetry the legacy stderr
+    /// log remains, suppressible with `MSWJ_NO_SKEW_WARNING` (the signal
+    /// stays available through [`JoinEngine::heavy_hitter`] and the
+    /// per-shard `routed` counters either way).
     fn note_heavy_hitter(&mut self) {
         let Some(s) = self.heavy_hitter() else {
             self.hh_warned = None;
@@ -1263,9 +1367,6 @@ impl JoinEngine {
             return;
         }
         self.hh_warned = Some(s);
-        if std::env::var_os("MSWJ_NO_SKEW_WARNING").is_some() {
-            return;
-        }
         let windowed = |s: usize| self.runtime[s].routed - self.hh_base[s];
         let total: u64 = (0..self.runtime.len()).map(windowed).sum();
         let held = windowed(s);
@@ -1274,11 +1375,16 @@ impl JoinEngine {
         } else {
             "consider arming skew_splitting() on the session builder"
         };
-        eprintln!(
-            "mswj: heavy hitter detected — shard {s} took {held} of {total} routed \
+        let message = format!(
+            "heavy hitter detected — shard {s} took {held} of {total} routed \
              events (> 50%) in the current detection window; the key distribution \
              pins this shard's bucket, {hint}"
         );
+        if self.telemetry.is_some() {
+            self.telemetry_event(EventKind::HeavyHitter, message);
+        } else if std::env::var_os("MSWJ_NO_SKEW_WARNING").is_none() {
+            eprintln!("mswj: {message}");
+        }
     }
 
     /// Applies the detector's verdict on the closing window: reverts split
@@ -1296,6 +1402,10 @@ impl JoinEngine {
                     share,
                     at: self.on_t,
                 });
+                self.telemetry_event(
+                    EventKind::SkewUnsplit,
+                    format!("key class {hash:#018x} went cold (share {share:.3}); replicas purged"),
+                );
             }
         }
         for (hash, share) in to_split {
@@ -1307,6 +1417,13 @@ impl JoinEngine {
                     share,
                     at: self.on_t,
                 });
+                self.telemetry_event(
+                    EventKind::SkewSplit,
+                    format!(
+                        "hot key class {hash:#018x} (share {share:.3}) switched to \
+                         replicated-build / split-probe routing"
+                    ),
+                );
             }
         }
     }
@@ -1447,6 +1564,12 @@ impl JoinEngine {
             },
             at: self.on_t,
         });
+        self.telemetry_event(
+            EventKind::PlanRevision,
+            format!(
+                "star pair switched: satellite {current} -> {candidate} (window state migrated)"
+            ),
+        );
     }
 
     /// Migrates window state from the partitioning `(anchor, from)` to
@@ -1541,6 +1664,10 @@ impl JoinEngine {
         }
         self.apply_revision(&candidate, false);
         self.replan.as_mut().expect("caller checked").order = candidate.clone();
+        self.telemetry_event(
+            EventKind::PlanRevision,
+            format!("probe chain reordered by observed match rates: {candidate:?}"),
+        );
         self.plan_transitions.push(PlanTransition {
             action: PlanAction::Reorder { order: candidate },
             at: self.on_t,
@@ -1566,6 +1693,13 @@ impl JoinEngine {
         }
         self.apply_revision(&[], true);
         self.replan.as_mut().expect("caller checked").demoted = true;
+        self.telemetry_event(
+            EventKind::PlanRevision,
+            format!(
+                "hash index demoted to nested-loop scan (fallback share {:.3})",
+                fallback as f64 / (indexed + fallback) as f64
+            ),
+        );
         self.plan_transitions.push(PlanTransition {
             action: PlanAction::DemoteIndex,
             at: self.on_t,

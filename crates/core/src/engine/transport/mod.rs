@@ -45,7 +45,9 @@ pub mod socket;
 mod remote;
 
 pub(in crate::engine) use remote::RemoteShards;
-pub use server::{serve_stream, serve_tcp, serve_uds};
+pub use server::{
+    serve_stream, serve_stream_with, serve_tcp, serve_tcp_with, serve_uds, serve_uds_with,
+};
 
 use mswj_wire::{read_frame, write_frame, Frame, WireError};
 use std::io::{Read, Write};

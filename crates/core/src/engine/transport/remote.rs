@@ -203,8 +203,10 @@ impl RemoteShards {
     }
 
     /// Runs a barrier round-trip against `shard` and returns its operator
-    /// counters.  Only valid between epochs (nothing outstanding).
-    pub(in crate::engine) fn barrier_stats(&self, shard: usize) -> OperatorStats {
+    /// counters plus the live window footprint (estimated bytes and
+    /// columnar segment count) held in the server process.  Only valid
+    /// between epochs (nothing outstanding).
+    pub(in crate::engine) fn barrier_stats(&self, shard: usize) -> (OperatorStats, u64, u64) {
         let mut link = self.link(shard);
         link.barrier_token += 1;
         let token = link.barrier_token;
@@ -213,6 +215,8 @@ impl RemoteShards {
             Frame::BarrierAck {
                 token: acked,
                 stats,
+                window_bytes,
+                window_segments,
             } => {
                 if acked != token {
                     panic_any(EngineError::Protocol {
@@ -220,7 +224,7 @@ impl RemoteShards {
                         detail: format!("barrier token mismatch: sent {token}, acked {acked}"),
                     });
                 }
-                stats
+                (stats, window_bytes, window_segments)
             }
             other => link.unexpected(shard, "barrier-ack", &other),
         }

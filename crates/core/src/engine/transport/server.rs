@@ -17,13 +17,70 @@
 use super::Framed;
 use crate::engine::{exec, Item};
 use mswj_join::{join_key_hash, JoinQuery, MswjOperator};
+use mswj_obs::{ShardInstruments, Telemetry};
 use mswj_types::{Schema, StreamIndex, StreamSet, StreamSpec, Tuple};
 use mswj_wire::{Frame, WireError, WireOutput, WireQuery, WireSub};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::panic::AssertUnwindSafe;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-connection telemetry accumulated between barriers and published at
+/// every [`Frame::Barrier`] — the server-side mirror of the engine's
+/// barrier-time gauge publication.  Strictly observe-only.
+struct ConnScope {
+    scope: Arc<ShardInstruments>,
+    /// Epochs drained since the connection opened.
+    epochs: u64,
+    /// Items routed into this connection since it opened.
+    routed: u64,
+    /// Largest single-epoch queue observed since the last barrier.
+    queue_high: u64,
+    /// Busy nanoseconds accumulated since the last barrier.
+    busy_nanos: u64,
+    /// Wall-clock anchor of the last barrier (busy-share denominator).
+    since: Instant,
+}
+
+impl ConnScope {
+    fn new(scope: Arc<ShardInstruments>) -> Self {
+        ConnScope {
+            scope,
+            epochs: 0,
+            routed: 0,
+            queue_high: 0,
+            busy_nanos: 0,
+            since: Instant::now(),
+        }
+    }
+
+    fn record_epoch(&mut self, queued: u64, busy_nanos: u64) {
+        self.epochs += 1;
+        self.routed += queued;
+        self.queue_high = self.queue_high.max(queued);
+        self.busy_nanos += busy_nanos;
+    }
+
+    fn publish(&mut self, window_bytes: u64, window_segments: u64) {
+        let wall = self.since.elapsed().as_nanos() as u64;
+        let busy_share = if wall == 0 {
+            0.0
+        } else {
+            (self.busy_nanos as f64 / wall as f64).min(1.0)
+        };
+        self.scope.window_bytes.set(window_bytes as f64);
+        self.scope.window_segments.set(window_segments as f64);
+        self.scope.epochs_executed.set(self.epochs as f64);
+        self.scope.routed.set(self.routed as f64);
+        self.scope.queue_depth.set(self.queue_high as f64);
+        self.scope.busy_share.set(busy_share);
+        self.queue_high = 0;
+        self.busy_nanos = 0;
+        self.since = Instant::now();
+    }
+}
 
 /// Renders a caught panic payload the way `std::thread` would print it.
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -69,6 +126,19 @@ fn class_of(op: &MswjOperator, stream: StreamIndex, column: usize, key_hash: u64
 /// (including after reporting a client error or an operator panic as an
 /// error frame); `Err` only for transport-level failures mid-reply.
 pub fn serve_stream<S: Read + Write>(stream: S) -> Result<(), WireError> {
+    serve_stream_with(stream, None)
+}
+
+/// [`serve_stream`] with an optional telemetry scope: when present, the
+/// connection publishes its operator's window footprint and its runtime
+/// counters (epochs, routed items, queue high-water, busy share) into the
+/// scope's gauges at every barrier frame.  Pure observation — the framing
+/// and replies are identical with and without it.
+pub fn serve_stream_with<S: Read + Write>(
+    stream: S,
+    scope: Option<Arc<ShardInstruments>>,
+) -> Result<(), WireError> {
+    let mut conn_scope = scope.map(ConnScope::new);
     let mut framed = Framed::new(stream);
     let mut op: Option<MswjOperator> = None;
     // Recycled epoch buffers, mirroring the pool worker's steady state.
@@ -125,12 +195,16 @@ pub fn serve_stream<S: Read + Write>(stream: S) -> Result<(), WireError> {
                 }));
                 sub.clear();
                 mat.clear();
+                let queued = items.len() as u64;
                 let started = Instant::now();
                 let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     exec::drain_queue(op, &mut items, &mut sub, &mut mat);
                 }))
                 .err();
                 let busy_nanos = started.elapsed().as_nanos() as u64;
+                if let Some(scope) = &mut conn_scope {
+                    scope.record_epoch(queued, busy_nanos);
+                }
                 match panicked {
                     Some(payload) => {
                         framed.send(&Frame::Error {
@@ -156,7 +230,17 @@ pub fn serve_stream<S: Read + Write>(stream: S) -> Result<(), WireError> {
             }
             Frame::Barrier { token } => {
                 let stats = op.as_ref().map(MswjOperator::stats).unwrap_or_default();
-                framed.send(&Frame::BarrierAck { token, stats })?;
+                let window_bytes = op.as_ref().map(MswjOperator::window_bytes).unwrap_or(0);
+                let window_segments = op.as_ref().map(MswjOperator::window_segments).unwrap_or(0);
+                if let Some(scope) = &mut conn_scope {
+                    scope.publish(window_bytes, window_segments);
+                }
+                framed.send(&Frame::BarrierAck {
+                    token,
+                    stats,
+                    window_bytes,
+                    window_segments,
+                })?;
             }
             Frame::FetchClass {
                 stream,
@@ -286,14 +370,14 @@ pub fn serve_stream<S: Read + Write>(stream: S) -> Result<(), WireError> {
     }
 }
 
-fn spawn_connection<S>(index: usize, stream: S)
+fn spawn_connection<S>(index: usize, stream: S, scope: Option<Arc<ShardInstruments>>)
 where
     S: Read + Write + Send + 'static,
 {
     let _ = std::thread::Builder::new()
         .name(format!("mswj-shardd-conn-{index}"))
         .spawn(move || {
-            if let Err(e) = serve_stream(stream) {
+            if let Err(e) = serve_stream_with(stream, scope) {
                 eprintln!("mswj-shardd: connection {index} failed: {e}");
             }
         });
@@ -303,11 +387,19 @@ where
 /// every incoming connection on its own thread.  Never returns except on a
 /// bind/accept error — this is the `mswj-shardd --uds` main loop.
 pub fn serve_uds(path: &Path) -> Result<(), WireError> {
+    serve_uds_with(path, None)
+}
+
+/// [`serve_uds`] with optional daemon telemetry: connection `i` publishes
+/// into `telemetry.shard(i)`, so an exporter scraping the handle sees one
+/// gauge set per accepted connection.
+pub fn serve_uds_with(path: &Path, telemetry: Option<Telemetry>) -> Result<(), WireError> {
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)?;
     eprintln!("mswj-shardd: listening on uds {}", path.display());
     for (index, conn) in listener.incoming().enumerate() {
-        spawn_connection(index, conn?);
+        let scope = telemetry.as_ref().map(|t| t.shard(index));
+        spawn_connection(index, conn?, scope);
     }
     Ok(())
 }
@@ -316,13 +408,19 @@ pub fn serve_uds(path: &Path) -> Result<(), WireError> {
 /// thread.  Never returns except on a bind/accept error — this is the
 /// `mswj-shardd --tcp` main loop.
 pub fn serve_tcp(addr: &str) -> Result<(), WireError> {
+    serve_tcp_with(addr, None)
+}
+
+/// [`serve_tcp`] with optional daemon telemetry — see [`serve_uds_with`].
+pub fn serve_tcp_with(addr: &str, telemetry: Option<Telemetry>) -> Result<(), WireError> {
     let listener = std::net::TcpListener::bind(addr)?;
     eprintln!(
         "mswj-shardd: listening on tcp {}",
         listener.local_addr().map_err(WireError::Io)?
     );
     for (index, conn) in listener.incoming().enumerate() {
-        spawn_connection(index, conn?);
+        let scope = telemetry.as_ref().map(|t| t.shard(index));
+        spawn_connection(index, conn?, scope);
     }
     Ok(())
 }

@@ -83,6 +83,9 @@ pub use engine::{
 };
 pub use kslack::{KSlack, KSlackStats};
 pub use model::{ModelInputs, RecallModel};
+pub use mswj_obs::{
+    check_prometheus_text, EventCallback, EventKind, MetricsExporter, Telemetry, TelemetryEvent,
+};
 pub use output::{Checkpoint, OutputEvent, RunReport};
 pub use pipeline::Pipeline;
 pub use policy::{BufferPolicy, PdGains, PdState};

@@ -64,6 +64,7 @@ use crate::sink::{NullSink, Sink};
 use crate::statistics::StatisticsManager;
 use crate::synchronizer::Synchronizer;
 use mswj_join::{JoinQuery, OperatorStats, ProbePlan, ProbeStrategy};
+use mswj_obs::{EventKind, Telemetry, TelemetryEvent};
 use mswj_types::{ArrivalEvent, Duration, Result, StreamIndex, Timestamp, Tuple};
 use std::collections::VecDeque;
 
@@ -102,6 +103,11 @@ pub struct Pipeline {
     /// engine delivers `Done` events (a deque because the pipelined `Pool`
     /// backend delivers a batch's events one flush later).
     pending_meta: VecDeque<(Duration, Timestamp)>,
+    /// Observe-only metrics sink.  `None` means instrumentation is
+    /// compiled out of the hot path entirely (a branch on an `Option`,
+    /// never an allocation); attached via
+    /// [`SessionBuilder::telemetry`](crate::SessionBuilder::telemetry).
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for Pipeline {
@@ -139,9 +145,13 @@ impl Pipeline {
             ExecutionBackend::Sequential,
             None,
             None,
+            None,
         )
     }
 
+    // Crate-internal constructor fed exclusively by the builder; the knob
+    // count is the builder's problem, not a public API surface.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn construct(
         query: JoinQuery,
         policy: BufferPolicy,
@@ -150,6 +160,7 @@ impl Pipeline {
         backend: ExecutionBackend,
         skew: Option<SkewConfig>,
         replan: Option<ReplanConfig>,
+        telemetry: Option<Telemetry>,
     ) -> Result<Self> {
         let config: DisorderConfig = policy.config().copied().unwrap_or_default();
         config.validate()?;
@@ -162,7 +173,7 @@ impl Pipeline {
             BufferPolicy::QualityDriven(c) => Some(BufferSizeManager::new(*c, query.windows())),
             _ => None,
         };
-        let engine = JoinEngine::try_with_policies(
+        let mut engine = JoinEngine::try_with_policies(
             query.clone(),
             probe,
             materialize,
@@ -170,6 +181,9 @@ impl Pipeline {
             skew,
             replan,
         )?;
+        if let Some(t) = &telemetry {
+            engine.attach_telemetry(t.clone());
+        }
         Ok(Pipeline {
             kslacks: (0..m).map(|_| KSlack::new(initial_k)).collect(),
             synchronizer: Synchronizer::new(m),
@@ -196,6 +210,7 @@ impl Pipeline {
             scratch_released: Vec::new(),
             scratch_synced: Vec::new(),
             pending_meta: VecDeque::new(),
+            telemetry,
             query,
             policy,
         })
@@ -326,6 +341,11 @@ impl Pipeline {
         let stream = event.stream();
         let tuple = event.tuple;
         let delay = self.stats.observe(stream, tuple.ts);
+        if let Some(t) = &self.telemetry {
+            let s = t.session();
+            s.events_ingested.inc();
+            s.kslack_delay_ms.record(delay);
+        }
         if delay > self.lifetime_max_delay {
             self.lifetime_max_delay = delay;
             if matches!(self.policy, BufferPolicy::MaxKSlack) {
@@ -465,8 +485,10 @@ impl Pipeline {
             produced_since_checkpoint,
             last_progress,
             pending_meta,
+            telemetry,
             ..
         } = self;
+        let session = telemetry.as_ref().map(Telemetry::session);
         let mut handler = |ev: EngineEvent<'_>| match ev {
             EngineEvent::Result(r) => sink.event(OutputEvent::Result(r)),
             EngineEvent::Done(outcome) => {
@@ -475,6 +497,9 @@ impl Pipeline {
                     .expect("one Done event per staged tuple");
                 if outcome.in_order {
                     profiler.record_processed(delay, outcome.n_cross, outcome.n_join);
+                    if let Some(s) = session {
+                        s.results_emitted.add(outcome.n_join);
+                    }
                     if outcome.n_join > 0 {
                         monitor.record_produced(ts, outcome.n_join);
                         produced.push((ts, outcome.n_join));
@@ -489,13 +514,21 @@ impl Pipeline {
                     }
                 } else {
                     profiler.record_unprocessed(delay);
+                    if let Some(s) = session {
+                        s.tuples_dropped.inc();
+                    }
                 }
             }
         };
+        let started = session.map(|_| std::time::Instant::now());
         if barrier {
             engine.sync(&mut handler);
         } else {
             engine.flush(&mut handler);
+        }
+        if let (Some(s), Some(at)) = (session, started) {
+            s.ingest_emit_latency_nanos
+                .record(at.elapsed().as_nanos() as u64);
         }
     }
 
@@ -572,6 +605,62 @@ impl Pipeline {
         });
         let latest = self.checkpoints.last().expect("pushed just above");
         sink.event(OutputEvent::Checkpoint(latest));
+
+        if self.telemetry.is_some() {
+            self.publish_checkpoint_telemetry(at, measure_ts, new_k, gamma_prime, estimated);
+        }
+    }
+
+    /// Publishes the quality gauges, the checkpoint event and the per-shard
+    /// runtime gauges after a checkpoint.  Runs only when telemetry is
+    /// attached; strictly observe-only (reads statistics the checkpoint
+    /// already computed, plus the barrier-time shard counters).
+    fn publish_checkpoint_telemetry(
+        &mut self,
+        at: Timestamp,
+        measure_ts: Timestamp,
+        k: Duration,
+        gamma_prime: f64,
+        estimated: f64,
+    ) {
+        let produced = self.monitor.produced_within(measure_ts);
+        let truth = self.monitor.true_within(measure_ts);
+        let observed = if truth == 0 {
+            f64::NAN
+        } else {
+            (produced as f64 / truth as f64).min(1.0)
+        };
+        let stats = self.engine.stats();
+        let arrived = stats.in_order + stats.out_of_order;
+        let drop_rate = if arrived == 0 {
+            0.0
+        } else {
+            stats.out_of_order as f64 / arrived as f64
+        };
+        let t = self.telemetry.as_ref().expect("checked by caller");
+        let s = t.session();
+        s.k_ms.set(k as f64);
+        s.gamma_prime.set(gamma_prime);
+        s.recall_estimated.set(estimated);
+        s.recall_observed.set(observed);
+        s.drop_rate.set(drop_rate);
+        s.checkpoints.inc();
+        t.emit(TelemetryEvent {
+            at_ms: at.as_millis(),
+            kind: EventKind::Checkpoint,
+            message: format!(
+                "checkpoint at {} ms: K = {k} ms, recall est {estimated:.4} / obs {observed:.4}",
+                at.as_millis()
+            ),
+        });
+        self.engine.publish_telemetry();
+    }
+
+    /// The telemetry handle attached to this session, if any — shared with
+    /// the join engine and suitable for handing to a
+    /// [`MetricsExporter`](mswj_obs::MetricsExporter).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Applies a new buffer size to every K-slack component (Same-K policy),

@@ -22,7 +22,7 @@
 #![warn(rust_2018_idioms)]
 
 use mswj_core::{
-    BufferPolicy, DisorderConfig, Endpoint, ExecutionBackend, ProbeStrategy, RunReport,
+    BufferPolicy, DisorderConfig, Endpoint, ExecutionBackend, ProbeStrategy, RunReport, Telemetry,
 };
 use mswj_datasets::{Dataset, SoccerConfig, SoccerDataset, SyntheticConfig, SyntheticDataset};
 use mswj_metrics::{evaluate_recall, ground_truth_counts, CountSeries, RecallEvaluation};
@@ -88,6 +88,9 @@ impl Scale {
              \x20                      planner-chosen indexed plan) or\n\
              \x20                      nested-loop (exhaustive reference;\n\
              \x20                      results are identical)\n\
+             \x20   --metrics-out PATH write the final telemetry snapshot\n\
+             \x20                      (quality gauges, latency histograms,\n\
+             \x20                      per-shard runtime) as JSON to PATH\n\
              \x20   -h, --help         print this help and exit",
             d.duration_secs,
             d.seed,
@@ -205,6 +208,28 @@ pub fn backend_from_args() -> ExecutionBackend {
     })
 }
 
+/// Reads `--metrics-out PATH` from the process arguments: when present,
+/// the experiment attaches a [`Telemetry`] handle to every session it runs
+/// and dumps the final JSON snapshot
+/// ([`dump_metrics_json`]) to `PATH` on completion.
+pub fn metrics_out_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--metrics-out")?;
+    match args.get(i + 1) {
+        Some(path) => Some(std::path::PathBuf::from(path)),
+        None => {
+            eprintln!("--metrics-out needs a path\n\n{}", Scale::usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes the telemetry handle's JSON snapshot to `path` (the
+/// `--metrics-out` payload).
+pub fn dump_metrics_json(telemetry: &Telemetry, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, telemetry.render_json())
+}
+
 /// Builds the (simulated) soccer dataset D×2real at the given scale.
 pub fn dataset_d2(scale: Scale) -> Dataset {
     let cfg = SoccerConfig::default().duration_secs(scale.duration_secs);
@@ -306,11 +331,31 @@ pub fn run_policy_full(
     backend: ExecutionBackend,
     probe: ProbeStrategy,
 ) -> PolicyEval {
-    let mut pipeline = mswj_core::Pipeline::builder()
+    run_policy_instrumented(dataset, policy, period_p, truth, backend, probe, None)
+}
+
+/// Like [`run_policy_full`], optionally attaching a live [`Telemetry`]
+/// handle to the session (`--metrics-out` / [`metrics_out_from_args`]).
+/// Telemetry is observe-only, so the measurements are identical with and
+/// without it.
+pub fn run_policy_instrumented(
+    dataset: &Dataset,
+    policy: BufferPolicy,
+    period_p: Duration,
+    truth: &CountSeries,
+    backend: ExecutionBackend,
+    probe: ProbeStrategy,
+    telemetry: Option<Telemetry>,
+) -> PolicyEval {
+    let mut builder = mswj_core::Pipeline::builder()
         .query(dataset.query.clone())
         .policy(policy)
         .parallelism(backend)
-        .probe(probe)
+        .probe(probe);
+    if let Some(t) = telemetry {
+        builder = builder.telemetry(t);
+    }
+    let mut pipeline = builder
         .build()
         .expect("experiment configurations are valid");
     for event in dataset.log.iter() {
@@ -352,6 +397,7 @@ mod tests {
             "--quick",
             "--backend",
             "--probe",
+            "--metrics-out",
             "--help",
         ] {
             assert!(usage.contains(flag), "usage text misses {flag}");

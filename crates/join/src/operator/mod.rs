@@ -204,6 +204,12 @@ impl MswjOperator {
         self.windows.iter().map(|w| w.stats().live_bytes_est).sum()
     }
 
+    /// Number of columnar storage segments held across all of this
+    /// operator's windows (see [`crate::WindowStats::segments`]).
+    pub fn window_segments(&self) -> u64 {
+        self.windows.iter().map(|w| w.stats().segments as u64).sum()
+    }
+
     /// Whether the operator materializes result tuples.
     pub fn is_enumerating(&self) -> bool {
         self.enumerate

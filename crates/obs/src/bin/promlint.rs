@@ -1,0 +1,37 @@
+//! `promlint` — lint a Prometheus text-exposition-format document.
+//!
+//! Reads the file named as the first argument (or stdin when none is
+//! given), validates metric-name / type-line / label well-formedness with
+//! [`mswj_obs::check_prometheus_text`], and exits non-zero on the first
+//! malformed line.  CI pipes a live `/metrics` scrape through this.
+
+use std::io::Read;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--help") || arg.as_deref() == Some("-h") {
+        println!("usage: promlint [FILE]   (reads stdin when FILE is omitted)");
+        return;
+    }
+    let input = match &arg {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("promlint: cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("promlint: cannot read stdin: {e}");
+                std::process::exit(2);
+            }
+            buf
+        }
+    };
+    match mswj_obs::check_prometheus_text(&input) {
+        Ok(samples) => println!("ok: {samples} well-formed samples"),
+        Err(message) => {
+            eprintln!("promlint: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Bounded ring of recent structured runtime events.
+//!
+//! Checkpoints, skew split/unsplit transitions, plan revisions and
+//! heavy-hitter warnings are *rare* (they only happen at adaptation
+//! checkpoints and idle barriers), so the ring may lock a mutex and
+//! allocate its message strings — none of that touches the per-event
+//! ingestion hot path.  The ring keeps the most recent
+//! [`EVENT_RING_CAPACITY`] events; older ones fall off the front.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Maximum number of events retained by the ring.
+pub const EVENT_RING_CAPACITY: usize = 128;
+
+/// What kind of runtime transition an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A periodic adaptation checkpoint was taken.
+    Checkpoint,
+    /// The skew detector split a hot key out of its pinned shard.
+    SkewSplit,
+    /// The skew detector folded a previously split key back.
+    SkewUnsplit,
+    /// The one-time heavy-hitter warning (a single shard holds > 50% of
+    /// the routed volume and no splitting is possible or enabled).
+    HeavyHitter,
+    /// The runtime re-planner revised the probe plan (pair switch,
+    /// reorder, or index demotion).
+    PlanRevision,
+}
+
+impl EventKind {
+    /// Stable lower-snake identifier used by both exporters.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::SkewSplit => "skew_split",
+            EventKind::SkewUnsplit => "skew_unsplit",
+            EventKind::HeavyHitter => "heavy_hitter",
+            EventKind::PlanRevision => "plan_revision",
+        }
+    }
+}
+
+/// One structured runtime event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    /// Arrival-axis timestamp of the transition, in milliseconds.
+    pub at_ms: u64,
+    /// Transition category.
+    pub kind: EventKind,
+    /// Human-readable one-line description.
+    pub message: String,
+}
+
+/// The bounded ring itself (interior-mutable, shared behind `Telemetry`).
+#[derive(Debug, Default)]
+pub(crate) struct EventRing {
+    events: Mutex<VecDeque<TelemetryEvent>>,
+}
+
+impl EventRing {
+    pub(crate) fn push(&self, event: TelemetryEvent) {
+        let mut ring = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == EVENT_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<TelemetryEvent> {
+        let ring = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().cloned().collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            at_ms: i,
+            kind: EventKind::Checkpoint,
+            message: format!("event {i}"),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let ring = EventRing::default();
+        for i in 0..(EVENT_RING_CAPACITY as u64 + 10) {
+            ring.push(ev(i));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), EVENT_RING_CAPACITY);
+        assert_eq!(events.first().unwrap().at_ms, 10);
+        assert_eq!(events.last().unwrap().at_ms, EVENT_RING_CAPACITY as u64 + 9);
+    }
+
+    #[test]
+    fn kinds_have_stable_identifiers() {
+        assert_eq!(EventKind::HeavyHitter.as_str(), "heavy_hitter");
+        assert_eq!(EventKind::PlanRevision.as_str(), "plan_revision");
+    }
+}

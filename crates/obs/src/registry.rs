@@ -1,0 +1,240 @@
+//! The pre-registered instrument registry behind the [`Telemetry`] handle.
+//!
+//! Every instrument a session can ever touch is declared here as a named
+//! struct field, not looked up in a map: registration happens when the
+//! handle (or a shard scope) is built, so steady-state ingestion performs
+//! zero allocation and zero hashing — recording is a direct field access
+//! plus a relaxed atomic.  Per-shard scopes are the only dynamic part;
+//! they are created once, at engine construction (or shard-server
+//! connection) time, behind a briefly-held mutex.
+
+use crate::events::{EventRing, TelemetryEvent};
+use crate::instruments::{Counter, Gauge, Histogram};
+use std::sync::{Arc, Mutex};
+
+/// Callback invoked synchronously for every structured event, in the
+/// thread that emitted it (always a barrier/checkpoint context, never the
+/// per-event hot path).
+pub type EventCallback = Arc<dyn Fn(&TelemetryEvent) + Send + Sync>;
+
+/// Session-wide instruments, all pre-registered at handle construction.
+///
+/// The quality gauges mirror the paper's runtime signals: the buffer size
+/// K currently in force, the instant recall requirement Γ′ (Eq. 7), the
+/// model-estimated and the windowed *observed* recall, and the fraction of
+/// tuples dropped as hopelessly late.
+#[derive(Debug, Default)]
+pub struct SessionInstruments {
+    /// Buffer size K currently in force, milliseconds (`mswj_k_ms`).
+    pub k_ms: Gauge,
+    /// Instant recall requirement Γ′ of the last adaptation
+    /// (`mswj_gamma_prime`); `NaN` for non-adaptive policies.
+    pub gamma_prime: Gauge,
+    /// Model-estimated recall at the chosen K (`mswj_recall_estimated`);
+    /// `NaN` for non-model policies.
+    pub recall_estimated: Gauge,
+    /// Observed recall over the monitor window `P − L`
+    /// (`mswj_recall_observed`); `NaN` until the first checkpoint.
+    pub recall_observed: Gauge,
+    /// Fraction of join-stage arrivals dropped as too late
+    /// (`mswj_drop_rate`).
+    pub drop_rate: Gauge,
+    /// Adaptation checkpoints taken so far (`mswj_checkpoints_total`).
+    pub checkpoints: Counter,
+    /// Arrival events ingested (`mswj_events_ingested_total`).
+    pub events_ingested: Counter,
+    /// Join results produced (`mswj_results_total`).
+    pub results_emitted: Counter,
+    /// Tuples dropped by the join stage (`mswj_dropped_total`).
+    pub tuples_dropped: Counter,
+    /// Raw K-slack tuple delays, milliseconds (`mswj_kslack_delay_ms`).
+    pub kslack_delay_ms: Histogram,
+    /// Wall-clock ingest→emit latency per driven batch, nanoseconds
+    /// (`mswj_ingest_emit_latency_nanos`).
+    pub ingest_emit_latency_nanos: Histogram,
+}
+
+/// Per-shard instruments, registered when the engine (or a shard server
+/// connection) comes up.  All values are republished at idle barriers and
+/// checkpoints from the engine's runtime counters — the shard hot loops
+/// never touch them.
+#[derive(Debug, Default)]
+pub struct ShardInstruments {
+    /// High-water pending-epoch queue depth (`mswj_shard_queue_depth`).
+    pub queue_depth: Gauge,
+    /// Fraction of wall time this shard's executor spent busy since the
+    /// previous publish (`mswj_shard_busy_share`).
+    pub busy_share: Gauge,
+    /// Estimated live window bytes held by the shard
+    /// (`mswj_shard_window_bytes`).
+    pub window_bytes: Gauge,
+    /// Columnar storage segments held by the shard
+    /// (`mswj_shard_window_segments`).
+    pub window_segments: Gauge,
+    /// Tuples routed to the shard so far (`mswj_shard_routed_total`).
+    pub routed: Gauge,
+    /// Epochs the shard has executed (`mswj_shard_epochs_total`).
+    pub epochs_executed: Gauge,
+    /// Wire frames sent to a remote shard (`mswj_shard_frames_sent`).
+    pub frames_sent: Gauge,
+    /// Wire frames received from a remote shard
+    /// (`mswj_shard_frames_received`).
+    pub frames_received: Gauge,
+    /// Wire bytes sent to a remote shard (`mswj_shard_bytes_sent`).
+    pub bytes_sent: Gauge,
+    /// Wire bytes received from a remote shard
+    /// (`mswj_shard_bytes_received`).
+    pub bytes_received: Gauge,
+    /// Smoothed request→reply round-trip time of the shard link,
+    /// nanoseconds (`mswj_shard_rtt_nanos`).
+    pub rtt_nanos: Gauge,
+}
+
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) session: SessionInstruments,
+    pub(crate) shards: Mutex<Vec<Arc<ShardInstruments>>>,
+    pub(crate) events: EventRing,
+    pub(crate) on_event: Mutex<Option<EventCallback>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("session", &self.session)
+            .field("shards", &self.shard_len())
+            .field("buffered_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Inner {
+    fn shard_len(&self) -> usize {
+        self.shards.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// The shared telemetry handle.
+///
+/// Cheap to clone (an `Arc`); every component of a session — builder,
+/// pipeline, engine, transport, exporter — holds the same registry.
+/// Telemetry is strictly observational: nothing read from or written to a
+/// handle feeds back into join results, adaptation decisions, or the
+/// sequential-equivalent merge order.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Telemetry {
+    /// Creates a fresh registry with every session instrument
+    /// pre-registered and zeroed.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// The session-wide instruments.
+    pub fn session(&self) -> &SessionInstruments {
+        &self.inner.session
+    }
+
+    /// The instrument scope of shard `index`, registering it (and any
+    /// missing lower-indexed scopes) on first use.  The returned `Arc`
+    /// can be stored and updated without further locking.
+    pub fn shard(&self, index: usize) -> Arc<ShardInstruments> {
+        let mut shards = self.inner.shards.lock().unwrap_or_else(|e| e.into_inner());
+        while shards.len() <= index {
+            shards.push(Arc::new(ShardInstruments::default()));
+        }
+        Arc::clone(&shards[index])
+    }
+
+    /// Number of registered shard scopes.
+    pub fn shard_count(&self) -> usize {
+        self.inner
+            .shards
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    pub(crate) fn shards_snapshot(&self) -> Vec<Arc<ShardInstruments>> {
+        self.inner
+            .shards
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Installs (or replaces) the synchronous event callback.
+    pub fn set_event_callback(&self, callback: EventCallback) {
+        *self
+            .inner
+            .on_event
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(callback);
+    }
+
+    /// Pushes a structured event into the bounded ring and invokes the
+    /// callback, if one is installed.  Called from barrier/checkpoint
+    /// contexts only — it locks and may allocate.
+    pub fn emit(&self, event: TelemetryEvent) {
+        let callback = self
+            .inner
+            .on_event
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(cb) = callback {
+            cb(&event);
+        }
+        self.inner.events.push(event);
+    }
+
+    /// The retained recent events, oldest first.
+    pub fn recent_events(&self) -> Vec<TelemetryEvent> {
+        self.inner.events.snapshot()
+    }
+
+    /// Number of events currently buffered in the ring.
+    pub fn buffered_events(&self) -> usize {
+        self.inner.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn shard_scopes_register_on_demand_and_are_shared() {
+        let t = Telemetry::new();
+        assert_eq!(t.shard_count(), 0);
+        let s2 = t.shard(2);
+        assert_eq!(t.shard_count(), 3);
+        s2.queue_depth.set(7.0);
+        // The same scope is returned on re-request, across clones.
+        assert_eq!(t.clone().shard(2).queue_depth.get(), 7.0);
+    }
+
+    #[test]
+    fn emit_invokes_the_callback_and_buffers() {
+        let t = Telemetry::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        t.set_event_callback(Arc::new(move |ev| {
+            assert_eq!(ev.kind, EventKind::HeavyHitter);
+            seen2.fetch_add(1, Ordering::SeqCst);
+        }));
+        t.emit(TelemetryEvent {
+            at_ms: 42,
+            kind: EventKind::HeavyHitter,
+            message: "shard 1 holds 80% of routed volume".into(),
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        assert_eq!(t.buffered_events(), 1);
+        assert_eq!(t.recent_events()[0].at_ms, 42);
+    }
+}

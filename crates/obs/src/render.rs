@@ -1,0 +1,410 @@
+//! Snapshot rendering: Prometheus text exposition format and JSON.
+//!
+//! Both renderers read the registry with relaxed loads — a scrape observes
+//! a near-instantaneous, not strictly atomic, picture of the instruments,
+//! which is all a monitoring system expects.  Rendering allocates freely;
+//! it runs on the exporter thread (or at process exit for
+//! `--metrics-out`), never on the ingestion path.
+
+use crate::instruments::{Histogram, HISTOGRAM_BUCKETS};
+use crate::registry::{ShardInstruments, Telemetry};
+use std::fmt::Write as _;
+
+/// Formats one sample value the way the Prometheus text format expects:
+/// integral values without a fractional part, specials as `NaN`/`+Inf`/
+/// `-Inf`.
+fn prom_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v == v.trunc() && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn prom_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {}", prom_value(value));
+}
+
+fn prom_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn prom_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let buckets = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (idx, count) in buckets.iter().enumerate() {
+        cumulative += count;
+        match Histogram::bucket_upper_bound(idx) {
+            Some(le) => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// One labelled per-shard gauge family.
+fn prom_shard_gauge(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    shards: &[std::sync::Arc<ShardInstruments>],
+    get: impl Fn(&ShardInstruments) -> f64,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (i, s) in shards.iter().enumerate() {
+        let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", prom_value(get(s)));
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON has no `NaN`/`Inf`: map non-finite gauges to `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 9e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_histogram(h: &Histogram) -> String {
+    let buckets = h.bucket_counts();
+    let mut parts = Vec::with_capacity(HISTOGRAM_BUCKETS);
+    for (idx, count) in buckets.iter().enumerate() {
+        let le = match Histogram::bucket_upper_bound(idx) {
+            Some(le) => le.to_string(),
+            None => "null".to_string(),
+        };
+        parts.push(format!("{{\"le\":{le},\"count\":{count}}}"));
+    }
+    format!(
+        "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.sum(),
+        parts.join(",")
+    )
+}
+
+impl Telemetry {
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4), the payload of `GET /metrics`.
+    pub fn render_prometheus(&self) -> String {
+        let s = self.session();
+        let shards = self.shards_snapshot();
+        let mut out = String::with_capacity(4096);
+        prom_gauge(
+            &mut out,
+            "mswj_k_ms",
+            "Buffer size K currently in force, in milliseconds.",
+            s.k_ms.get(),
+        );
+        prom_gauge(
+            &mut out,
+            "mswj_gamma_prime",
+            "Instant recall requirement Gamma' of the last adaptation (NaN for non-adaptive policies).",
+            s.gamma_prime.get(),
+        );
+        prom_gauge(
+            &mut out,
+            "mswj_recall_estimated",
+            "Model-estimated recall at the chosen K (NaN for non-model policies).",
+            s.recall_estimated.get(),
+        );
+        prom_gauge(
+            &mut out,
+            "mswj_recall_observed",
+            "Observed recall over the sliding monitor window P - L (NaN before the first checkpoint).",
+            s.recall_observed.get(),
+        );
+        prom_gauge(
+            &mut out,
+            "mswj_drop_rate",
+            "Fraction of join-stage arrivals dropped as too late.",
+            s.drop_rate.get(),
+        );
+        prom_counter(
+            &mut out,
+            "mswj_checkpoints_total",
+            "Adaptation checkpoints taken.",
+            s.checkpoints.get(),
+        );
+        prom_counter(
+            &mut out,
+            "mswj_events_ingested_total",
+            "Arrival events ingested by the pipeline.",
+            s.events_ingested.get(),
+        );
+        prom_counter(
+            &mut out,
+            "mswj_results_total",
+            "Join results produced.",
+            s.results_emitted.get(),
+        );
+        prom_counter(
+            &mut out,
+            "mswj_dropped_total",
+            "Tuples dropped by the join stage as hopelessly late.",
+            s.tuples_dropped.get(),
+        );
+        prom_histogram(
+            &mut out,
+            "mswj_kslack_delay_ms",
+            "Raw K-slack tuple delays, in milliseconds.",
+            &s.kslack_delay_ms,
+        );
+        prom_histogram(
+            &mut out,
+            "mswj_ingest_emit_latency_nanos",
+            "Wall-clock ingest-to-emit latency per driven batch, in nanoseconds.",
+            &s.ingest_emit_latency_nanos,
+        );
+        if !shards.is_empty() {
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_queue_depth",
+                "High-water pending-epoch queue depth of the shard.",
+                &shards,
+                |s| s.queue_depth.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_busy_share",
+                "Fraction of wall time the shard executor was busy since the previous publish.",
+                &shards,
+                |s| s.busy_share.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_window_bytes",
+                "Estimated live window bytes held by the shard.",
+                &shards,
+                |s| s.window_bytes.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_window_segments",
+                "Columnar storage segments held by the shard.",
+                &shards,
+                |s| s.window_segments.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_routed_total",
+                "Tuples routed to the shard so far.",
+                &shards,
+                |s| s.routed.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_epochs_total",
+                "Epochs the shard has executed.",
+                &shards,
+                |s| s.epochs_executed.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_frames_sent",
+                "Wire frames sent to the remote shard.",
+                &shards,
+                |s| s.frames_sent.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_frames_received",
+                "Wire frames received from the remote shard.",
+                &shards,
+                |s| s.frames_received.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_bytes_sent",
+                "Wire bytes sent to the remote shard.",
+                &shards,
+                |s| s.bytes_sent.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_bytes_received",
+                "Wire bytes received from the remote shard.",
+                &shards,
+                |s| s.bytes_received.get(),
+            );
+            prom_shard_gauge(
+                &mut out,
+                "mswj_shard_rtt_nanos",
+                "Smoothed request-reply round-trip time of the shard link, in nanoseconds.",
+                &shards,
+                |s| s.rtt_nanos.get(),
+            );
+        }
+        prom_gauge(
+            &mut out,
+            "mswj_events_buffered",
+            "Structured events currently retained in the bounded ring.",
+            self.buffered_events() as f64,
+        );
+        out
+    }
+
+    /// Renders the whole registry (including the event ring) as a single
+    /// JSON object, the payload of `GET /metrics.json` and of
+    /// `--metrics-out`.
+    pub fn render_json(&self) -> String {
+        let s = self.session();
+        let shards = self.shards_snapshot();
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        let _ = write!(
+            out,
+            "\"gauges\":{{\"mswj_k_ms\":{},\"mswj_gamma_prime\":{},\"mswj_recall_estimated\":{},\"mswj_recall_observed\":{},\"mswj_drop_rate\":{}}}",
+            json_number(s.k_ms.get()),
+            json_number(s.gamma_prime.get()),
+            json_number(s.recall_estimated.get()),
+            json_number(s.recall_observed.get()),
+            json_number(s.drop_rate.get()),
+        );
+        let _ = write!(
+            out,
+            ",\"counters\":{{\"mswj_checkpoints_total\":{},\"mswj_events_ingested_total\":{},\"mswj_results_total\":{},\"mswj_dropped_total\":{}}}",
+            s.checkpoints.get(),
+            s.events_ingested.get(),
+            s.results_emitted.get(),
+            s.tuples_dropped.get(),
+        );
+        let _ = write!(
+            out,
+            ",\"histograms\":{{\"mswj_kslack_delay_ms\":{},\"mswj_ingest_emit_latency_nanos\":{}}}",
+            json_histogram(&s.kslack_delay_ms),
+            json_histogram(&s.ingest_emit_latency_nanos),
+        );
+        out.push_str(",\"shards\":[");
+        for (i, sh) in shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{i},\"queue_depth\":{},\"busy_share\":{},\"window_bytes\":{},\"window_segments\":{},\"routed\":{},\"epochs_executed\":{},\"frames_sent\":{},\"frames_received\":{},\"bytes_sent\":{},\"bytes_received\":{},\"rtt_nanos\":{}}}",
+                json_number(sh.queue_depth.get()),
+                json_number(sh.busy_share.get()),
+                json_number(sh.window_bytes.get()),
+                json_number(sh.window_segments.get()),
+                json_number(sh.routed.get()),
+                json_number(sh.epochs_executed.get()),
+                json_number(sh.frames_sent.get()),
+                json_number(sh.frames_received.get()),
+                json_number(sh.bytes_sent.get()),
+                json_number(sh.bytes_received.get()),
+                json_number(sh.rtt_nanos.get()),
+            );
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in self.recent_events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at_ms\":{},\"kind\":\"{}\",\"message\":\"{}\"}}",
+                ev.at_ms,
+                ev.kind.as_str(),
+                json_escape(&ev.message),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, TelemetryEvent};
+
+    #[test]
+    fn prometheus_output_carries_the_quality_gauges() {
+        let t = Telemetry::new();
+        t.session().k_ms.set(250.0);
+        t.session().gamma_prime.set(f64::NAN);
+        t.session().recall_observed.set(0.97);
+        t.session().kslack_delay_ms.record(12);
+        t.shard(1).window_bytes.set(4096.0);
+        let text = t.render_prometheus();
+        assert!(text.contains("# TYPE mswj_k_ms gauge"));
+        assert!(text.contains("mswj_k_ms 250"));
+        assert!(text.contains("mswj_recall_observed 0.97"));
+        assert!(text.contains("# TYPE mswj_kslack_delay_ms histogram"));
+        assert!(text.contains("mswj_kslack_delay_ms_count 1"));
+        assert!(text.contains("mswj_kslack_delay_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("mswj_shard_window_bytes{shard=\"1\"} 4096"));
+        // NaN quality gauges render as the text format's NaN literal.
+        assert!(text.contains("mswj_gamma_prime NaN"));
+    }
+
+    #[test]
+    fn json_output_is_parseable_shape_and_escapes_messages() {
+        let t = Telemetry::new();
+        t.session().gamma_prime.set(f64::NAN);
+        t.emit(TelemetryEvent {
+            at_ms: 7,
+            kind: EventKind::SkewSplit,
+            message: "split \"hot\" key\n".into(),
+        });
+        let json = t.render_json();
+        assert!(json.contains("\"mswj_gamma_prime\":null"));
+        assert!(json.contains("\"kind\":\"skew_split\""));
+        assert!(json.contains("split \\\"hot\\\" key\\n"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // Balanced braces/brackets as a cheap structural check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn prom_value_formats_specials() {
+        assert_eq!(prom_value(f64::NAN), "NaN");
+        assert_eq!(prom_value(f64::INFINITY), "+Inf");
+        assert_eq!(prom_value(1.0), "1");
+        assert_eq!(prom_value(0.5), "0.5");
+    }
+}

@@ -31,7 +31,11 @@ use std::io::{Read, Write};
 /// v2: `BarrierAck` stats grew the `adopted`/`evicted` migration counters,
 /// and the runtime re-planning frames (`FetchWindow`/`Retain`/`Revise`)
 /// joined the protocol.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3: `BarrierAck` grew the shard's live window footprint
+/// (`window_bytes`/`window_segments`), so remote shard stats report the
+/// same window gauges as local ones.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Frame magic: the ASCII bytes `MSWJ`, read little-endian.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MSWJ");
@@ -166,12 +170,17 @@ pub enum Frame {
         /// Caller-chosen token echoed by the ack.
         token: u64,
     },
-    /// Reply to [`Frame::Barrier`], carrying the shard's operator counters.
+    /// Reply to [`Frame::Barrier`], carrying the shard's operator counters
+    /// and its live window footprint.
     BarrierAck {
         /// Echo of the barrier token.
         token: u64,
         /// The shard operator's lifetime counters.
         stats: OperatorStats,
+        /// Estimated live window bytes held by the shard operator.
+        window_bytes: u64,
+        /// Columnar storage segments held across the shard's windows.
+        window_segments: u64,
     },
     /// Requests every window tuple of one key class (split preparation).
     FetchClass {
@@ -537,9 +546,16 @@ impl Frame {
                 }
             }
             Frame::Barrier { token } => put_u64(buf, *token),
-            Frame::BarrierAck { token, stats } => {
+            Frame::BarrierAck {
+                token,
+                stats,
+                window_bytes,
+                window_segments,
+            } => {
                 put_u64(buf, *token);
                 put_stats(buf, stats);
+                put_u64(buf, *window_bytes);
+                put_u64(buf, *window_segments);
             }
             Frame::FetchClass {
                 stream,
@@ -669,6 +685,8 @@ impl Frame {
             FT_BARRIER_ACK => Frame::BarrierAck {
                 token: c.u64()?,
                 stats: get_stats(&mut c)?,
+                window_bytes: c.u64()?,
+                window_segments: c.u64()?,
             },
             FT_FETCH_CLASS => Frame::FetchClass {
                 stream: c.u64()?,

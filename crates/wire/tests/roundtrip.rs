@@ -179,6 +179,8 @@ fn arb_frame(rng: &mut StdRng) -> Frame {
         7 => Frame::BarrierAck {
             token: rng.gen(),
             stats: arb_stats(rng),
+            window_bytes: rng.gen(),
+            window_segments: rng.gen(),
         },
         8 => Frame::FetchClass {
             stream: rng.gen_range(0u64..8),

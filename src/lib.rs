@@ -52,6 +52,7 @@ pub use mswj_core as core;
 pub use mswj_datasets as datasets;
 pub use mswj_join as join;
 pub use mswj_metrics as metrics;
+pub use mswj_obs as obs;
 pub use mswj_types as types;
 
 pub use mswj_core::SessionBuilder;
@@ -84,6 +85,7 @@ pub mod prelude {
         StarEquiJoin, Window,
     };
     pub use mswj_metrics::{evaluate_recall, ground_truth_counts, CountSeries, RecallEvaluation};
+    pub use mswj_obs::{EventKind, MetricsExporter, Telemetry, TelemetryEvent};
     pub use mswj_types::{
         ArrivalEvent, ArrivalLog, Duration, FieldType, Interleaver, Schema, StreamIndex, StreamSet,
         StreamSpec, Timestamp, Tuple, TupleBuilder, Value,

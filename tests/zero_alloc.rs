@@ -109,6 +109,53 @@ fn counting_push_into_does_not_allocate_per_event() {
 }
 
 #[test]
+fn telemetry_enabled_push_into_does_not_allocate_per_event() {
+    // The instrumented hot path: events-ingested counter, K-slack delay
+    // histogram and batch-latency histogram all record on every push.
+    // Counters and histogram buckets are fixed-size atomics registered at
+    // build time, so enabling telemetry must not add a single per-event
+    // allocation.
+    let _guard = MEASURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let telemetry = Telemetry::new();
+    let mut pipeline = mswj::session()
+        .streams(2, Schema::new(vec![("a1", FieldType::Int)]), 100)
+        .on_common_key("a1")
+        .no_k_slack()
+        .telemetry(telemetry.clone())
+        .build()
+        .unwrap();
+
+    let warmup = events(1, 400);
+    let measured = events(400, 800);
+    let n = measured.len() as u64;
+    let mut sink = CountingSink::default();
+    for e in warmup {
+        pipeline.push_into(e, &mut sink);
+    }
+
+    let before = allocations();
+    for e in measured {
+        pipeline.push_into(e, &mut sink);
+    }
+    let during = allocations() - before;
+    assert!(
+        during <= n / 8,
+        "instrumented hot path allocated {during} times for {n} events (> 1 per {} events)",
+        n / during.max(1)
+    );
+
+    // The instruments saw every event.
+    let session = telemetry.session();
+    assert_eq!(session.events_ingested.get(), 799);
+    assert_eq!(session.kslack_delay_ms.count(), 799);
+    assert!(session.ingest_emit_latency_nanos.count() > 0);
+
+    let report = pipeline.finish();
+    assert_eq!(report.total_produced, 0);
+    assert_eq!(report.operator_stats.in_order, 799);
+}
+
+#[test]
 fn joining_counting_session_still_stays_allocation_free_per_event() {
     // Same shape but with matching keys: the index-assisted counting path
     // runs (results are tallied, never materialized) and `produced`

@@ -14,7 +14,20 @@
 //! `time: [low mid high]` shape.  No statistics beyond that, no plots, no
 //! saved baselines — enough to compare variants of the same workload in
 //! one run, which is how the workspace benches are written.
+//!
+//! Warm-up grows the iteration count geometrically (1, 2, 4, …) so that a
+//! benchmark whose closure performs expensive setup *outside* `b.iter` —
+//! engine construction, window prefill — pays that setup only a handful of
+//! times, not once per estimated iteration.
+//!
+//! Like the real criterion, the harness honours a few CLI arguments after
+//! cargo's `--` separator: bare arguments are substring filters on the
+//! full benchmark name (`cargo bench --bench foo -- b512_sequential`), and
+//! `--sample-size N` / `--measurement-time SECS` / `--warm-up-time SECS`
+//! override the group configuration for quick local runs.  Unknown
+//! `-`-prefixed flags (such as cargo's own `--bench`) are ignored.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier — defers to [`std::hint::black_box`].
@@ -96,6 +109,50 @@ impl std::fmt::Display for BenchmarkId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}/{}", self.function, self.parameter)
     }
+}
+
+/// Harness arguments parsed from the command line by [`criterion_main!`].
+#[derive(Default, Debug, PartialEq)]
+struct Cli {
+    /// Bare arguments: substring filters on the full benchmark name.
+    filters: Vec<String>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+static CLI: OnceLock<Cli> = OnceLock::new();
+
+fn parse_cli<I: Iterator<Item = String>>(mut args: I) -> Cli {
+    fn seconds<I: Iterator<Item = String>>(args: &mut I) -> Option<Duration> {
+        args.next()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .map(Duration::from_secs_f64)
+    }
+    let mut cli = Cli::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sample-size" => {
+                cli.sample_size = args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+            }
+            "--measurement-time" => cli.measurement_time = seconds(&mut args),
+            "--warm-up-time" => cli.warm_up_time = seconds(&mut args),
+            // Cargo's own `--bench` and any real-criterion flag we don't
+            // implement: ignore rather than error, so existing invocations
+            // keep working.
+            _ if arg.starts_with('-') => {}
+            _ => cli.filters.push(arg),
+        }
+    }
+    cli
+}
+
+/// Parses harness CLI arguments from the environment.  Called by the
+/// `main` generated by [`criterion_main!`]; unit tests that drive
+/// [`Criterion`] directly never parse the test binary's own arguments.
+pub fn parse_args_from_env() {
+    let _ = CLI.set(parse_cli(std::env::args().skip(1)));
 }
 
 #[derive(Clone, Copy)]
@@ -195,19 +252,39 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Warm-up, sample, and report one benchmark.
-fn run_one(config: Config, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    // Warm-up: repeatedly run single iterations until the budget is spent,
-    // to both warm caches and estimate the per-iteration cost.
+fn run_one(mut config: Config, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let cli = CLI.get();
+    if let Some(cli) = cli {
+        if !cli.filters.is_empty() && !cli.filters.iter().any(|pat| name.contains(pat.as_str())) {
+            return;
+        }
+        if let Some(n) = cli.sample_size {
+            config.sample_size = n;
+        }
+        if let Some(d) = cli.measurement_time {
+            config.measurement_time = d;
+        }
+        if let Some(d) = cli.warm_up_time {
+            config.warm_up_time = d;
+        }
+    }
+    // Warm-up: run the closure with a geometrically growing iteration count
+    // until the measured budget is spent.  Growing (rather than repeating
+    // single iterations) bounds the number of *closure invocations* to
+    // O(log target-iters), so per-invocation setup outside `b.iter` is paid
+    // only a handful of times.
     let mut warm_iters = 0u64;
     let mut warm_elapsed = Duration::ZERO;
+    let mut next_iters = 1u64;
     while warm_elapsed < config.warm_up_time {
         let mut b = Bencher {
-            iters: 1,
+            iters: next_iters,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
         warm_elapsed += b.elapsed;
-        warm_iters += 1;
+        warm_iters += next_iters;
+        next_iters = next_iters.saturating_mul(2);
     }
     let est_iter = warm_elapsed.as_secs_f64() / warm_iters.max(1) as f64;
     let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
@@ -273,6 +350,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)*) => {
         fn main() {
+            $crate::parse_args_from_env();
             $( $group(); )+
         }
     };
@@ -314,6 +392,40 @@ mod tests {
             b.iter(|| black_box(n * 2))
         });
         group.finish();
+    }
+
+    #[test]
+    fn cli_parsing_filters_and_overrides() {
+        let cli = parse_cli(
+            [
+                "--bench",
+                "b512_sequential",
+                "--sample-size",
+                "10",
+                "--measurement-time",
+                "1.5",
+                "--warm-up-time",
+                "0.25",
+                "--unknown-flag",
+                "b32_pool4",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(
+            cli.filters,
+            vec!["b512_sequential".to_string(), "b32_pool4".to_string()]
+        );
+        assert_eq!(cli.sample_size, Some(10));
+        assert_eq!(cli.measurement_time, Some(Duration::from_millis(1_500)));
+        assert_eq!(cli.warm_up_time, Some(Duration::from_millis(250)));
+        // Malformed or non-positive values fall back to the group config.
+        let bad = parse_cli(
+            ["--sample-size", "0", "--measurement-time", "nope"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(bad, Cli::default());
     }
 
     #[test]
